@@ -1,0 +1,54 @@
+GO ?= go
+
+.PHONY: all build test race fuzz bench bench-quick report ablate examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every text codec.
+fuzz:
+	$(GO) test -fuzz FuzzParseLine -fuzztime 15s ./internal/syslog/
+	$(GO) test -fuzz FuzzParsePlacement -fuzztime 10s ./internal/slurmsim/
+	$(GO) test -fuzz FuzzLoadDBLine -fuzztime 10s ./internal/slurmsim/
+
+# Regenerate every paper table and figure at full scale (~10 min).
+bench:
+	$(GO) test -bench=. -benchmem -timeout 60m ./...
+
+# Same benches over a 5% dataset (~1 min).
+bench-quick:
+	GPURESIL_BENCH_SCALE=0.05 $(GO) test -bench=. -benchmem -timeout 30m ./...
+
+# The full reproduction with paper comparison and extensions (~30 s).
+report:
+	$(GO) run ./cmd/deltareport -scale 1.0 -seed 2 -compare -ext
+
+ablate:
+	$(GO) run ./cmd/ablate -scale 0.1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/faultygpu
+	$(GO) run ./examples/nvlink
+	$(GO) run ./examples/jobimpact
+	$(GO) run ./examples/availability
+	$(GO) run ./examples/checkpoint
+	$(GO) run ./examples/survival
+	$(GO) run ./examples/hopper
+
+fmt:
+	gofmt -w ./internal ./cmd ./examples ./bench_test.go ./doc.go
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,95 @@
+// Command ablate runs the design-choice ablations from DESIGN.md:
+//
+//	A1 — coalescing-window sweep: how Table I error counts change with Δt,
+//	     from counting every raw log line (Δt = 0, the §III-B over-counting
+//	     hazard) to merging genuine repeats (Δt = 30 min).
+//	A2 — attribution-window sweep: how Table II's GPU-failed job counts
+//	     change with the job-failure window around the paper's 20 s.
+//
+// Usage:
+//
+//	ablate [-seed N] [-scale F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/coalesce"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/impact"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+	var (
+		seed  = fs.Uint64("seed", 1, "simulation seed")
+		scale = fs.Float64("scale", 0.1, "workload and fault scale")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := calib.NewScenario(*seed, *scale)
+	out, err := core.EndToEnd(core.EndToEndConfig{
+		Cluster:       sc.Cluster,
+		Pipeline:      core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes),
+		KeepRawEvents: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dataset: %d raw XID lines, %d true errors, %d jobs\n\n",
+		len(out.RawEvents), len(out.Truth.Events), len(out.Truth.Jobs))
+
+	fmt.Fprintln(stdout, "A1: coalescing-window sweep (error counts from raw lines)")
+	fmt.Fprintf(stdout, "%-10s  %-12s  %s\n", "window", "errors", "vs 5s baseline")
+	baseline := 0
+	windows := []time.Duration{0, time.Second, 5 * time.Second, 30 * time.Second,
+		time.Minute, 5 * time.Minute, 30 * time.Minute}
+	counts := make([]int, len(windows))
+	for i, w := range windows {
+		events, err := coalesce.Events(out.RawEvents, w)
+		if err != nil {
+			return err
+		}
+		counts[i] = len(events)
+		if w == 5*time.Second {
+			baseline = len(events)
+		}
+	}
+	for i, w := range windows {
+		fmt.Fprintf(stdout, "%-10s  %-12d  %.2fx\n", w, counts[i],
+			float64(counts[i])/float64(baseline))
+	}
+
+	fmt.Fprintln(stdout, "\nA2: attribution-window sweep (GPU-failed jobs)")
+	fmt.Fprintf(stdout, "%-10s  %-16s  %s\n", "window", "gpu-failed jobs", "jobs encountering any XID")
+	events, err := coalesce.Events(out.RawEvents, coalesce.DefaultWindow)
+	if err != nil {
+		return err
+	}
+	for _, w := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second,
+		20 * time.Second, 60 * time.Second, 2 * time.Minute, 10 * time.Minute} {
+		cor, err := impact.Correlate(out.Truth.Jobs, events, impact.Config{
+			AttributionWindow: w,
+			Period:            calib.Op(),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-10s  %-16d  %d\n", w, cor.TotalGPUFailedJobs, cor.EncounteredAny)
+	}
+	return nil
+}

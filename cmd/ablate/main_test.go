@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAblations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "A1: coalescing-window sweep") ||
+		!strings.Contains(s, "A2: attribution-window sweep") {
+		t.Fatalf("output:\n%s", s)
+	}
+	// The zero window counts every raw line and must exceed the baseline.
+	// Scan only the A1 section (A2 reuses the same window labels).
+	a1 := s[:strings.Index(s, "A2:")]
+	var zeroLine, baseLine string
+	for _, l := range strings.Split(a1, "\n") {
+		if strings.HasPrefix(l, "0s ") {
+			zeroLine = l
+		}
+		if strings.HasPrefix(l, "5s ") {
+			baseLine = l
+		}
+	}
+	if zeroLine == "" || baseLine == "" {
+		t.Fatalf("sweep rows missing:\n%s", s)
+	}
+	if !strings.Contains(baseLine, "1.00x") {
+		t.Fatalf("baseline row = %q", baseLine)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-x"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Command availability runs the §V-C analysis: it reads the node repair log
+// (and optionally the raw system log, for the conservative MTTF estimate)
+// and prints the Figure 2 unavailability distribution, MTTR, MTTF, and
+// availability.
+//
+// Usage:
+//
+//	availability -repairs FILE [-logs FILE]
+//	availability -data DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gpuresilience/internal/avail"
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/cluster"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/dataset"
+	"gpuresilience/internal/stats"
+	"gpuresilience/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "availability:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("availability", flag.ContinueOnError)
+	var (
+		repairsPath = fs.String("repairs", "", "node repair log")
+		logsPath    = fs.String("logs", "", "raw system log for the MTTF estimate")
+		dataDir     = fs.String("data", "", "dataset directory (verifies the manifest, uses its files)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		m, err := dataset.Verify(*dataDir)
+		if err != nil {
+			return err
+		}
+		rp, err := m.Path(*dataDir, dataset.RepairsFile)
+		if err != nil {
+			return err
+		}
+		*repairsPath = rp
+		if m.Has(dataset.SyslogFile) {
+			lp, err := m.Path(*dataDir, dataset.SyslogFile)
+			if err != nil {
+				return err
+			}
+			*logsPath = lp
+		}
+	}
+	if *repairsPath == "" {
+		return fmt.Errorf("-repairs or -data is required")
+	}
+	rf, err := os.Open(*repairsPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	downtimes, err := cluster.ReadDowntimes(rf)
+	if err != nil {
+		return err
+	}
+
+	errorCount := 0
+	if *logsPath != "" {
+		lf, err := os.Open(*logsPath)
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
+		res, err := core.AnalyzeLogs(lf, nil, nil, workload.CPURecord{}, cfg)
+		if err != nil {
+			return err
+		}
+		errorCount = res.PreSummary.TotalExclOutliers + res.OpSummary.TotalExclOutliers
+	}
+
+	full := stats.Period{Name: "characterization", Start: calib.PreOp().Start, End: calib.Op().End}
+	a, err := avail.Analyze(cluster.Durations(downtimes), avail.DefaultConfig(full, calib.Nodes, errorCount))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Repairs: %d  MTTR %.2f h (median %.2f, p99 %.2f)  lost node-hours %.0f\n",
+		a.Repairs, a.MTTRHours, a.MedianHours, a.P99Hours, a.LostNodeHours)
+	if errorCount > 0 {
+		fmt.Fprintf(stdout, "MTTF %.0f h  availability %.2f%%  downtime/day %s\n",
+			a.MTTFHours, 100*a.Availability, a.DowntimePerDay.Round(0))
+	}
+	h := a.Histogram
+	maxCount := 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	fmt.Fprintln(stdout, "\nFigure 2: unavailability time distribution")
+	for i, c := range h.Counts {
+		lo, hi := h.BucketBounds(i)
+		fmt.Fprintf(stdout, "%5.2f-%5.2f h | %-50s %d\n", lo, hi,
+			strings.Repeat("#", c*50/maxCount), c)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(stdout, "     >%.2f h | %d\n", h.Max, h.Overflow)
+	}
+
+	// Per-node availability spread over the full period.
+	downByNode := make(map[string]float64)
+	for _, d := range downtimes {
+		downByNode[d.Node] += d.Duration().Hours()
+	}
+	fleet := make([]string, 0, len(downByNode))
+	for node := range downByNode {
+		fleet = append(fleet, node)
+	}
+	if len(fleet) > 0 {
+		rows, err := avail.PerNode(downByNode, full, fleet)
+		if err != nil {
+			return err
+		}
+		n := 3
+		if len(rows) < n {
+			n = len(rows)
+		}
+		fmt.Fprintf(stdout, "\nWorst nodes (of %d with any downtime):\n", len(rows))
+		for _, r := range rows[:n] {
+			fmt.Fprintf(stdout, "  %s: %.3f%% (%.1f h down)\n", r.Node, 100*r.Availability, r.DownHours)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command deltareport runs the full reproduction — simulate Delta, emit raw
+// logs, extract, coalesce, characterize — and prints every table and figure
+// of the paper, the headline findings, and optionally the paper-vs-measured
+// comparison, CSV exports, extension analyses, and the error trend.
+//
+// Usage:
+//
+//	deltareport [-seed N] [-scale F] [-window D] [-attr D]
+//	            [-compare] [-quiet] [-ext] [-trend] [-csv DIR] [-hopper] [-rate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/coalesce"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "deltareport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("deltareport", flag.ContinueOnError)
+	var (
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+		scale   = fs.Float64("scale", 1.0, "workload and fault scale (1.0 = full Delta)")
+		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
+		attr    = fs.Duration("attr", 20*time.Second, "job-failure attribution window")
+		compare = fs.Bool("compare", false, "also print paper-vs-measured comparison")
+		quiet   = fs.Bool("quiet", false, "print only the comparison")
+		ext     = fs.Bool("ext", false, "also print extension analyses (survival, burstiness, checkpoint what-if)")
+		csvDir  = fs.String("csv", "", "also write table1.csv..table3.csv and figure2.csv to this directory")
+		trend   = fs.Bool("trend", false, "also print the 30-day error trend")
+		hopper  = fs.Bool("hopper", false, "run the Grace Hopper projection scenario instead of the A100 calibration")
+		rate    = fs.Bool("rate", false, "free-running rate mode instead of exact quotas")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := calib.NewScenario(*seed, *scale)
+	if *hopper {
+		sc = calib.NewHopperScenario(*seed, *scale)
+		fmt.Fprintln(stderr, "running the Grace Hopper PROJECTION (not paper data; see internal/calib/hopper.go)")
+	}
+	if *rate {
+		sc = sc.RateMode(*seed)
+	}
+	pcfg := core.DefaultPipelineConfig(sc.Cluster.PreOp, sc.Cluster.Op, sc.Cluster.Nodes4+sc.Cluster.Nodes8)
+	pcfg.CoalesceWindow = *window
+	pcfg.AttributionWindow = *attr
+
+	start := time.Now()
+	out, err := core.EndToEnd(core.EndToEndConfig{Cluster: sc.Cluster, Pipeline: pcfg})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "simulated %d raw log lines, %d jobs in %v\n",
+		out.RawLogLines, len(out.Truth.Jobs), time.Since(start).Round(time.Millisecond))
+
+	if !*quiet {
+		if err := report.WriteAll(stdout, out.Results); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if err := report.WriteFindings(stdout, out.Results); err != nil {
+			return err
+		}
+	}
+	if *compare || *quiet {
+		fmt.Fprintln(stdout, "\n=== Paper vs measured ===")
+		fmt.Fprintln(stdout)
+		if err := report.WriteComparison(stdout, out.Results); err != nil {
+			return err
+		}
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, out.Results); err != nil {
+			return err
+		}
+	}
+	if *ext {
+		events, err := coalesce.Events(out.Truth.Events, *window)
+		if err != nil {
+			return err
+		}
+		nodes := sc.Cluster.Nodes4 + sc.Cluster.Nodes8
+		fleet := make([]string, nodes)
+		for i := range fleet {
+			fleet[i] = fmt.Sprintf("gpub%03d", i+1)
+		}
+		downByNode := make(map[string]float64)
+		for _, d := range out.Truth.Downtimes {
+			if sc.Cluster.Op.Contains(d.Start) { // spread over the op period
+				downByNode[d.Node] += d.Duration().Hours()
+			}
+		}
+		fmt.Fprintln(stdout)
+		if err := report.WriteExtensions(stdout, report.ExtensionsInput{
+			Events:           events,
+			Jobs:             out.Truth.Jobs,
+			Period:           sc.Cluster.Op,
+			FleetSize:        nodes,
+			PerNodeMTBEHours: out.Results.OpSummary.PerNodeMTBE,
+			DownHoursByNode:  downByNode,
+			Fleet:            fleet,
+		}); err != nil {
+			return err
+		}
+	}
+	if *trend {
+		full := sc.Cluster.PreOp
+		full.End = sc.Cluster.Op.End
+		fmt.Fprintln(stdout)
+		if err := report.WriteTrend(stdout, out.Truth.Events, full); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSVs dumps machine-readable versions of every table and figure.
+func writeCSVs(dir string, res *core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		fn   func(io.Writer, *core.Results) error
+	}{
+		{"table1.csv", report.WriteTableICSV},
+		{"table2.csv", report.WriteTableIICSV},
+		{"table3.csv", report.WriteTableIIICSV},
+		{"figure2.csv", report.WriteFigure2CSV},
+	}
+	for _, f := range files {
+		out, err := os.Create(filepath.Join(dir, f.name))
+		if err != nil {
+			return err
+		}
+		if err := f.fn(out, res); err != nil {
+			_ = out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

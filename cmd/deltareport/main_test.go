@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuietComparison(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-quiet"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Paper vs measured", "Table I MMU Error op count", "Availability"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "simulated") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+}
+
+func TestRunFullReportSections(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-ext", "-trend"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III", "Figure 2",
+		"Headline findings", "Extensions", "30-day error counts",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-quiet", "-csv", dir}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.csv", "table2.csv", "table3.csv", "figure2.csv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("%s missing or empty: %v", name, err)
+		}
+	}
+}
+
+func TestRunHopperProjection(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "0.002", "-hopper", "-quiet"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "PROJECTION") {
+		t.Fatalf("hopper banner missing: %s", errBuf.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

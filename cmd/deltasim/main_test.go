@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpuresilience/internal/dataset"
+)
+
+func TestRunWritesVerifiableDataset(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-out", dir, "-scale", "0.002", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "raw log lines") {
+		t.Fatalf("output: %s", out.String())
+	}
+	m, err := dataset.Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 3 || m.Scale != 0.002 {
+		t.Fatalf("manifest provenance = %+v", m)
+	}
+	for _, name := range []string{dataset.SyslogFile, dataset.JobsFile, dataset.RepairsFile} {
+		if !m.Has(name) {
+			t.Fatalf("dataset missing %s", name)
+		}
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("%s missing or empty: %v", name, err)
+		}
+	}
+}
+
+func TestRunNoJobsAndRateMode(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-out", dir, "-scale", "0.002", "-nojobs", "-rate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 jobs") {
+		t.Fatalf("nojobs output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Command jobimpact runs the job-impact analysis (Stage III, §V): it joins a
+// raw system log with the Slurm job database and prints Table II (per-XID
+// job failure probabilities) and Table III (workload statistics).
+//
+// Usage:
+//
+//	jobimpact -logs FILE -jobs FILE [-attr D] [-window D]
+//	jobimpact -data DIR [-attr D] [-window D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/dataset"
+	"gpuresilience/internal/report"
+	"gpuresilience/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jobimpact:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jobimpact", flag.ContinueOnError)
+	var (
+		logs    = fs.String("logs", "", "raw system log file")
+		jobs    = fs.String("jobs", "", "sacct-style job database")
+		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its files)")
+		attr    = fs.Duration("attr", 20*time.Second, "failure attribution window")
+		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		m, err := dataset.Verify(*dataDir)
+		if err != nil {
+			return err
+		}
+		lp, err := m.Path(*dataDir, dataset.SyslogFile)
+		if err != nil {
+			return err
+		}
+		jp, err := m.Path(*dataDir, dataset.JobsFile)
+		if err != nil {
+			return err
+		}
+		*logs, *jobs = lp, jp
+	}
+	if *logs == "" || *jobs == "" {
+		return fmt.Errorf("-logs and -jobs (or -data) are required")
+	}
+	lf, err := os.Open(*logs)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	jf, err := os.Open(*jobs)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+
+	cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
+	cfg.AttributionWindow = *attr
+	cfg.CoalesceWindow = *window
+	res, err := core.AnalyzeLogs(lf, jf, nil, workload.CPURecord{}, cfg)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteTableII(stdout, res); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	return report.WriteTableIII(stdout, res)
+}

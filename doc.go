@@ -1,0 +1,24 @@
+// Package gpuresilience reproduces the DSN 2025 study "Characterizing Modern
+// GPU Resilience and Impact in HPC Systems: A Case Study of A100 GPUs".
+//
+// The repository contains two halves:
+//
+//   - A discrete-event simulator of NCSA Delta's A100 partition — GPU
+//     component fault models (HBM ECC with row remapping and error
+//     containment, NVLink with CRC detection and replay, GSP, PMU, MMU,
+//     PCIe bus), node drain/reboot lifecycle, a Slurm-like scheduler, a
+//     calibrated workload generator, and a syslog emitter that produces the
+//     duplicated NVRM Xid log lines the paper's pipeline ingests.
+//
+//   - The paper's contribution: the characterization pipeline — regex XID
+//     extraction (Stage I), Δt-window error coalescing (Stage II), and
+//     resilience/impact characterization (Stage III): MTBE statistics
+//     (Table I), job-impact correlation over a 20-second attribution window
+//     (Table II), workload statistics (Table III), and availability analysis
+//     (Figure 2).
+//
+// Entry points live under internal/core (pipeline orchestration) and
+// internal/calib (the paper-calibrated configuration); runnable tools are in
+// cmd/ and runnable examples in examples/. Root-level bench_test.go holds one
+// benchmark per paper table and figure.
+package gpuresilience

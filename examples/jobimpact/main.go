@@ -1,0 +1,60 @@
+// Job impact walk-through: reproduces §V's Stage III analysis on a
+// moderate-scale run — classify jobs, join them with the coalesced error
+// stream over the 20-second attribution window, and print Tables II and III
+// plus the §V-A job statistics.
+//
+//	go run ./examples/jobimpact
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jobimpact:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 20% scale keeps enough jobs (290k) for stable Table III statistics
+	// while running in a few seconds. Note that error-job exposure (Table
+	// II's encounter counts) only matches the paper at scale 1.0, when
+	// utilization reaches Delta's ~94%.
+	scenario := calib.NewScenario(3, 0.2)
+	pipeline := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
+
+	start := time.Now()
+	out, err := core.EndToEnd(core.EndToEndConfig{
+		Cluster:  scenario.Cluster,
+		Pipeline: pipeline,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d jobs in %v\n\n", len(out.Truth.Jobs),
+		time.Since(start).Round(time.Millisecond))
+
+	if err := report.WriteTableII(os.Stdout, out.Results); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.WriteTableIII(os.Stdout, out.Results); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("A job is `GPU-failed` when a GPU error hits one of its allocated")
+	fmt.Println("GPUs within 20 seconds of the job's failure. MMU errors are masked")
+	fmt.Println("by application-level handlers ~10% of the time; GSP errors are")
+	fmt.Println("never masked (100% failure); NVLink failures depend on whether the")
+	fmt.Println("faulted link carried the job's traffic.")
+	return nil
+}

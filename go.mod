@@ -1,0 +1,3 @@
+module gpuresilience
+
+go 1.22

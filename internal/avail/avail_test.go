@@ -1,0 +1,169 @@
+package avail
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/stats"
+)
+
+var fullPeriod = stats.Period{
+	Name:  "characterization",
+	Start: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+	End:   time.Date(2025, 3, 14, 0, 0, 0, 0, time.UTC),
+}
+
+// TestAnalyzeMatchesPaperNumbers feeds the paper's aggregate inputs (18,326
+// errors over 1,168 days on 106 nodes, repairs averaging 0.88 h) and checks
+// the §V-C outputs: MTTF ~162 h, availability ~99.5%, ~7 min/day downtime.
+func TestAnalyzeMatchesPaperNumbers(t *testing.T) {
+	const repairsCount = 6477
+	repairs := make([]time.Duration, repairsCount)
+	for i := range repairs {
+		// Alternate around the mean so the mean is exactly 0.88 h.
+		if i%2 == 0 {
+			repairs[i] = time.Duration(0.38 * float64(time.Hour))
+		} else {
+			repairs[i] = time.Duration(1.38 * float64(time.Hour))
+		}
+	}
+	cfg := DefaultConfig(fullPeriod, 106, 18326)
+	a, err := Analyze(repairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MTTRHours-0.88) > 1e-3 {
+		t.Fatalf("MTTR = %v", a.MTTRHours)
+	}
+	if math.Abs(a.MTTFHours-162) > 1.0 {
+		t.Fatalf("MTTF = %v, want ~162", a.MTTFHours)
+	}
+	if math.Abs(a.Availability-0.995) > 0.001 {
+		t.Fatalf("availability = %v", a.Availability)
+	}
+	if a.DowntimePerDay < 7*time.Minute || a.DowntimePerDay > 8*time.Minute {
+		t.Fatalf("downtime per day = %v", a.DowntimePerDay)
+	}
+	if math.Abs(a.LostNodeHours-0.88*repairsCount) > 1 {
+		t.Fatalf("lost node hours = %v, want ~%v", a.LostNodeHours, 0.88*repairsCount)
+	}
+	if a.Histogram.TotalCount != repairsCount {
+		t.Fatalf("histogram total = %d", a.Histogram.TotalCount)
+	}
+}
+
+func TestAnalyzeEmptyRepairs(t *testing.T) {
+	a, err := Analyze(nil, DefaultConfig(fullPeriod, 106, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Repairs != 0 || a.Availability != 1 {
+		t.Fatalf("analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeZeroErrors(t *testing.T) {
+	a, err := Analyze([]time.Duration{time.Hour}, DefaultConfig(fullPeriod, 106, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MTTFHours != 0 || a.Availability != 0 {
+		t.Fatalf("no-error analysis should leave MTTF unset: %+v", a)
+	}
+	if a.MTTRHours != 1 {
+		t.Fatalf("MTTR = %v", a.MTTRHours)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	good := DefaultConfig(fullPeriod, 106, 10)
+	bad := good
+	bad.Nodes = 0
+	if _, err := Analyze(nil, bad); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad = good
+	bad.HistBuckets = 0
+	if _, err := Analyze(nil, bad); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+	bad = good
+	bad.Period = stats.Period{Start: fullPeriod.End, End: fullPeriod.Start}
+	if _, err := Analyze(nil, bad); err == nil {
+		t.Fatal("bad period accepted")
+	}
+	if _, err := Analyze([]time.Duration{-time.Hour}, good); err == nil {
+		t.Fatal("negative repair accepted")
+	}
+}
+
+func TestPerNode(t *testing.T) {
+	fleet := []string{"gpub001", "gpub002", "gpub003"}
+	down := map[string]float64{
+		"gpub001": 10,
+		"gpub003": 280.32, // 1% of the 28,032-hour period
+	}
+	out, err := PerNode(down, fullPeriod, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	// Worst-first ordering.
+	if out[0].Node != "gpub003" || math.Abs(out[0].Availability-0.99) > 1e-9 {
+		t.Fatalf("worst = %+v", out[0])
+	}
+	if out[2].Node != "gpub002" || out[2].Availability != 1 {
+		t.Fatalf("clean node = %+v", out[2])
+	}
+	// Downtime exceeding the period clamps to zero availability.
+	out, err = PerNode(map[string]float64{"gpub001": 1e9}, fullPeriod, fleet[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Availability != 0 {
+		t.Fatalf("clamped availability = %v", out[0].Availability)
+	}
+}
+
+func TestPerNodeValidation(t *testing.T) {
+	fleet := []string{"a", "b"}
+	if _, err := PerNode(nil, fullPeriod, nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := PerNode(map[string]float64{"a": -1}, fullPeriod, fleet); err == nil {
+		t.Fatal("negative downtime accepted")
+	}
+	if _, err := PerNode(map[string]float64{"zzz": 1}, fullPeriod, fleet); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := PerNode(nil, fullPeriod, []string{"a", "a"}); err == nil {
+		t.Fatal("duplicate fleet node accepted")
+	}
+	bad := stats.Period{Start: fullPeriod.End, End: fullPeriod.Start}
+	if _, err := PerNode(nil, bad, fleet); err == nil {
+		t.Fatal("bad period accepted")
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	repairs := []time.Duration{
+		30 * time.Minute, 45 * time.Minute, 2 * time.Hour, 12 * time.Hour, // overflow
+	}
+	a, err := Analyze(repairs, DefaultConfig(fullPeriod, 106, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Histogram.Overflow != 1 {
+		t.Fatalf("overflow = %d", a.Histogram.Overflow)
+	}
+	sum := a.Histogram.Underflow + a.Histogram.Overflow
+	for _, c := range a.Histogram.Counts {
+		sum += c
+	}
+	if sum != 4 {
+		t.Fatalf("histogram total = %d", sum)
+	}
+}

@@ -1,0 +1,332 @@
+// Package calib holds the paper-calibrated configuration of the Delta
+// simulation and the published values every experiment is compared against.
+//
+// Calibration philosophy: the generator is tuned ONLY to aggregates the
+// paper publishes (Table I counts per period, Table II probabilities, Table
+// III workload shape, §V-C repair statistics) plus the mechanisms it
+// describes (episode clustering, PMU->MMU propagation, NVLink CRC masking,
+// the defective pre-operational GPU). Everything downstream — MTBEs, failure
+// probabilities, availability — is *measured* by the pipeline from the raw
+// synthetic logs, not copied from the paper.
+package calib
+
+import (
+	"time"
+
+	"gpuresilience/internal/cluster"
+	"gpuresilience/internal/faults"
+	"gpuresilience/internal/gpusim"
+	"gpuresilience/internal/healthcheck"
+	"gpuresilience/internal/nodesim"
+	"gpuresilience/internal/randx"
+	"gpuresilience/internal/slurmsim"
+	"gpuresilience/internal/stats"
+	"gpuresilience/internal/workload"
+	"gpuresilience/internal/xid"
+)
+
+// Delta topology constants.
+const (
+	// Nodes is the number of A100 nodes (the per-node MTBE multiplier).
+	Nodes = 106
+	// Nodes4 and Nodes8 split the fleet into 4-way and 8-way boards.
+	Nodes4 = 100
+	Nodes8 = 6
+	// GPUs is the A100 device count.
+	GPUs = 448
+)
+
+// PreOp returns the pre-operational (bring-up and testing) period:
+// 2022-01-01 to 2022-10-01 (273 days).
+func PreOp() stats.Period {
+	return stats.Period{
+		Name:  "pre-operational",
+		Start: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Op returns the operational (production) period: 2022-10-01 plus 895 days.
+func Op() stats.Period {
+	return stats.Period{
+		Name:  "operational",
+		Start: time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2025, 3, 14, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Full returns the whole 1,168-day characterization period.
+func Full() stats.Period {
+	return stats.Period{Name: "characterization", Start: PreOp().Start, End: Op().End}
+}
+
+// Scenario bundles the calibrated cluster configuration with the scale it
+// was built at.
+type Scenario struct {
+	Scale   float64
+	Cluster cluster.Config
+}
+
+// memPreOp returns the healthy-device memory cascade for the
+// pre-operational period (26 healthy uncorrectable roots -> 26 RREs, ~18
+// contained errors, no XID 48).
+func memPreOp() gpusim.MemoryConfig {
+	return gpusim.MemoryConfig{
+		SpareRows:              512,
+		DBELogProb:             0,
+		AccessBeforeRemapProb:  0.70,
+		ContainmentSuccessProb: 1.0,
+		PageOfflining:          true,
+	}
+}
+
+// memFaulty returns the defective device's cascade: broken row remapping
+// (15 RRFs out of 20 roots) and unreliable containment.
+func memFaulty() gpusim.MemoryConfig {
+	return gpusim.MemoryConfig{
+		SpareRows:              512,
+		DBELogProb:             0,
+		AccessBeforeRemapProb:  0.75,
+		ContainmentSuccessProb: 0.25,
+		RemapFailProb:          0.75,
+		PageOfflining:          true,
+	}
+}
+
+// scaleCount scales an episode quota, keeping at least one episode for
+// nonzero full-scale counts so small simulations still exercise every path.
+func scaleCount(n int, scale float64) int {
+	if n == 0 {
+		return 0
+	}
+	s := int(float64(n)*scale + 0.5)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// preOpFaults returns the pre-operational fault processes, calibrated to
+// Table I's pre-op column (MMU 1,078; NVLink 2,092; GSP 209; PMU 8; bus-off
+// 4; 26 healthy uncorrectable roots — the remaining 20 roots live in the
+// faulty-GPU scenario).
+func preOpFaults(scale float64) []faults.ProcessSpec {
+	return []faults.ProcessSpec{
+		{Kind: faults.KindMMU, Episodes: scaleCount(466, scale), MeanSize: 2.3,
+			MeanGap: 3 * time.Minute, ChronicFrac: 0.4},
+		{Kind: faults.KindNVLink, Episodes: scaleCount(72, scale), MeanSize: 21.0,
+			MeanGap: 45 * time.Second, ChronicFrac: 0.5},
+		{Kind: faults.KindGSP, Episodes: scaleCount(6, scale), MeanSize: 34.8,
+			MeanGap: 4 * time.Minute, ChronicFrac: 0.5},
+		{Kind: faults.KindPMU, Episodes: scaleCount(5, scale), MeanSize: 1.6,
+			MeanGap: 2 * time.Minute, ChronicFrac: 0.3},
+		{Kind: faults.KindBusOff, Episodes: scaleCount(4, scale), MeanSize: 1,
+			MeanGap: time.Minute},
+		{Kind: faults.KindUncorrectable, Episodes: scaleCount(26, scale), MeanSize: 1,
+			MeanGap: time.Minute},
+	}
+}
+
+// opFaults returns the operational-period fault processes, calibrated to
+// Table I's op column (MMU 8,863 including ~77 PMU-propagated; GSP 3,857 in
+// ~34 storms; NVLink 1,922 logged events at 42% two-GPU propagation; PMU
+// 77; bus-off 10; 34 uncorrectable roots).
+func opFaults(scale float64) []faults.ProcessSpec {
+	return []faults.ProcessSpec{
+		{Kind: faults.KindMMU, Episodes: scaleCount(4100, scale), MeanSize: 2.143,
+			MeanGap: 3 * time.Minute, ChronicFrac: 0.4},
+		{Kind: faults.KindGSP, Episodes: scaleCount(35, scale), MeanSize: 111.2,
+			MeanGap: 4 * time.Minute, ChronicFrac: 0.5},
+		{Kind: faults.KindNVLink, Episodes: scaleCount(72, scale), MeanSize: 21.1,
+			MeanGap: 45 * time.Second, ChronicFrac: 0.5},
+		{Kind: faults.KindPMU, Episodes: scaleCount(54, scale), MeanSize: 1.45,
+			MeanGap: 2 * time.Minute, ChronicFrac: 0.3},
+		{Kind: faults.KindBusOff, Episodes: scaleCount(10, scale), MeanSize: 1,
+			MeanGap: time.Minute},
+		{Kind: faults.KindUncorrectable, Episodes: scaleCount(34, scale), MeanSize: 1,
+			MeanGap: time.Minute},
+	}
+}
+
+// Rules returns the impact rules (Table II mechanics).
+func Rules() map[faults.Kind]cluster.ImpactRule {
+	return map[faults.Kind]cluster.ImpactRule{
+		// 90.48% of jobs encountering an MMU error fail; the rest mask it
+		// at the application level. ML frameworks catch the exception and
+		// skip the iteration far more often (§V-B), so the split is 0.92
+		// for conventional HPC codes vs 0.72 for ML jobs - which averages
+		// to the published 90.5% at the workload's ~8% ML share. Every MMU
+		// episode draws an SRE reset.
+		faults.KindMMU: {KillProb: 0.925, KillProbML: 0.72, ServiceProb: 1.0},
+		// GSP errors kill every job on the node and force manual recovery.
+		faults.KindGSP: {KillProb: 1.0, KillNode: true, ServiceProb: 1.0},
+		// PMU kills arrive through the propagated MMU error (97.56%).
+		faults.KindPMU: {KillProb: 0.976, ServiceProb: 1.0},
+		// NVLink faults only kill via active-link escalation (gpusim);
+		// recovery is a GPU reset, often deferred past the episode.
+		faults.KindNVLink: {ServiceProb: 0.3},
+		// A GPU off the bus kills its job and needs SRE intervention.
+		faults.KindBusOff: {KillProb: 1.0, ServiceProb: 1.0},
+		// Uncorrectable memory: containment kills the affected process;
+		// RREs need a GPU reset to take effect.
+		faults.KindUncorrectable: {KillProb: 1.0, ServiceProb: 1.0},
+	}
+}
+
+// FaultyGPU returns the defective-device scenario: 20 uncorrectable roots
+// from February 2022, the 17-day uncontained burst starting 2022-05-05, and
+// replacement on 2022-05-22.
+//
+// The raw burst count is 43,400: with 38,900 coalesced errors surviving a
+// 5-second window over 17 days, the underlying repeat process must have run
+// at one error per ~32.8 s (the window eats the difference), i.e. ~43,400
+// raw repeats — consistent with the paper's ">1M duplicated log entries"
+// once per-error line duplication (~26x) is added back.
+func FaultyGPU(scale float64) *cluster.FaultyGPUScenario {
+	return &cluster.FaultyGPUScenario{
+		Node:               12, // gpub013
+		GPU:                3,
+		UncorrectableRoots: scaleCount(20, scale),
+		RootsStart:         time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC),
+		Memory:             memFaulty(),
+		BurstStart:         time.Date(2022, 5, 5, 0, 0, 0, 0, time.UTC),
+		BurstDuration:      17 * 24 * time.Hour,
+		BurstCount:         scaleCount(43400, scale),
+	}
+}
+
+// NewScenario builds the calibrated simulation at the given scale (1.0 =
+// full Delta: 1.45M jobs, ~57k errors). Node counts stay fixed; workload
+// volume and fault quotas scale together so utilization — and therefore
+// error-job exposure — is preserved only at scale 1.0.
+func NewScenario(seed uint64, scale float64) Scenario {
+	// Delta-like SRE health checks: hourly sweeps that pull unreachable
+	// devices. Thresholds sit just above the faulty device's pre-op history
+	// (15 RRFs before the SREs pulled it), matching the observed timeline.
+	hc := healthcheck.DefaultConfig()
+	hc.MaxRemapFailures = 16
+	hc.MinSpareRows = 8
+
+	gpuOp := gpusim.Config{
+		Memory: gpusim.DefaultMemoryConfig(), // op-period calibration
+		NVLink: gpusim.NVLinkConfig{PropagateProb: 0.42, ActiveFailProb: 0.97},
+	}
+	gpuPre := gpuOp
+	gpuPre.Memory = memPreOp()
+
+	wl := workload.DefaultConfig(seed, Op(), scale)
+	// Campus-style diurnal submission pattern (peak mid-afternoon).
+	wl.DiurnalAmplitude = 0.25
+	wl.DiurnalPeakHour = 14
+
+	return Scenario{
+		Scale: scale,
+		Cluster: cluster.Config{
+			Seed:              seed,
+			Nodes4:            Nodes4,
+			Nodes8:            Nodes8,
+			PreOp:             PreOp(),
+			Op:                Op(),
+			GPUPreOp:          gpuPre,
+			GPUOp:             gpuOp,
+			Node:              nodesim.DefaultConfig(),
+			Sched:             slurmsim.DefaultConfig(),
+			PreOpFaults:       preOpFaults(scale),
+			OpFaults:          opFaults(scale),
+			ChronicNodes:      8,
+			Rules:             Rules(),
+			PMUPropagateProb:  1.0,
+			PMUPropagateDelay: 5 * time.Second,
+			GSPTimeoutProb:    0.6,
+			NVLinkActiveBias:  0.85,
+			KillLagMean:       4 * time.Second,
+			SoftwareXIDProb:   0.06,
+			Workload:          &wl,
+			FaultyGPU:         FaultyGPU(scale),
+			HealthCheck:       &hc,
+		},
+	}
+}
+
+// RateMode converts the scenario's quota-mode fault processes into
+// free-running rate mode (Poisson episode counts with the quotas as means).
+// The burst and the workload are left quota-mode; they reproduce specific
+// recorded incidents.
+func (s Scenario) RateMode(seed uint64) Scenario {
+	rng := randx.Derive(seed, "rate-mode")
+	s.Cluster.PreOpFaults = faults.RandomizeQuotas(rng.Derive("pre"), s.Cluster.PreOpFaults)
+	s.Cluster.OpFaults = faults.RandomizeQuotas(rng.Derive("op"), s.Cluster.OpFaults)
+	return s
+}
+
+// TableICell is one published Table I row/period cell.
+type TableICell struct {
+	Count          int
+	SystemMTBEHrs  float64 // 0 = "-" in the paper
+	PerNodeMTBEHrs float64
+}
+
+// TableIExpected is one published Table I row.
+type TableIExpected struct {
+	Group xid.Group
+	PreOp TableICell
+	Op    TableICell
+}
+
+// PaperTableI returns the published Table I values.
+func PaperTableI() []TableIExpected {
+	return []TableIExpected{
+		{xid.GroupMMU, TableICell{1078, 6.1, 649}, TableICell{8863, 2.4, 257}},
+		{xid.GroupDBE, TableICell{0, 0, 0}, TableICell{1, 0, 0}},
+		{xid.GroupUncorrECC, TableICell{46, 143, 15208}, TableICell{34, 632, 66967}},
+		{xid.GroupRRE, TableICell{31, 213, 22568}, TableICell{34, 632, 66967}},
+		{xid.GroupRRF, TableICell{15, 440, 46640}, TableICell{0, 0, 0}},
+		{xid.GroupNVLink, TableICell{2092, 3, 334}, TableICell{1922, 11, 1185}},
+		{xid.GroupFallenBus, TableICell{4, 1650, 174900}, TableICell{10, 2184, 227688}},
+		{xid.GroupContained, TableICell{22, 300, 31800}, TableICell{13, 1652, 175145}},
+		{xid.GroupUncontained, TableICell{38900, 0.17, 18}, TableICell{11, 1953, 206989}},
+		{xid.GroupGSP, TableICell{209, 32, 3347}, TableICell{3857, 5.6, 590}},
+		{xid.GroupPMU, TableICell{8, 825, 87450}, TableICell{77, 279, 29569}},
+	}
+}
+
+// TableIIExpected is one published Table II row.
+type TableIIExpected struct {
+	Code        xid.Code
+	GPUFailed   int
+	Encounters  int
+	FailureProb float64 // percent
+}
+
+// PaperTableII returns the published Table II values.
+func PaperTableII() []TableIIExpected {
+	return []TableIIExpected{
+		{xid.MMU, 3206, 3543, 90.48},
+		{xid.PMUSPIReadFail, 40, 41, 97.56},
+		{xid.GSPRPCTimeout, 31, 31, 100.00},
+		{xid.NVLink, 43, 80, 53.75},
+		{xid.ContainedMem, 5, 5, 100.00},
+	}
+}
+
+// Paper-level headline constants for EXPERIMENTS.md comparisons.
+const (
+	// PaperPreOpPerNodeMTBEHrs and PaperOpPerNodeMTBEHrs are finding (i).
+	PaperPreOpPerNodeMTBEHrs = 199
+	PaperOpPerNodeMTBEHrs    = 154
+	// PaperMemVsHardwareRatio is finding (ii).
+	PaperMemVsHardwareRatio = 160
+	// PaperMTTRHours, PaperMTTFHours, PaperAvailability are §V-C.
+	PaperMTTRHours    = 0.88
+	PaperMTTFHours    = 162
+	PaperAvailability = 0.995
+	// PaperLostNodeHours is §V-C's cumulative downtime.
+	PaperLostNodeHours = 5700
+	// PaperGPUSuccessRate and PaperCPUSuccessRate are §V-A.
+	PaperGPUSuccessRate = 0.7468
+	PaperCPUSuccessRate = 0.7490
+	// PaperTotalGPUFailedJobs is Table II's caption.
+	PaperTotalGPUFailedJobs = 3285
+	// PaperNVLinkPropagation2P is finding (iv)'s 42%.
+	PaperNVLinkPropagation2P = 0.42
+)

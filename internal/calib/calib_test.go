@@ -1,0 +1,210 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"gpuresilience/internal/cluster"
+	"gpuresilience/internal/faults"
+	"gpuresilience/internal/xid"
+)
+
+func TestPeriodsMatchPaper(t *testing.T) {
+	if got := PreOp().Days(); math.Abs(got-273) > 1e-9 {
+		t.Fatalf("pre-op days = %v, want 273", got)
+	}
+	if got := Op().Days(); math.Abs(got-895) > 1e-9 {
+		t.Fatalf("op days = %v, want 895", got)
+	}
+	if got := Full().Days(); math.Abs(got-1168) > 1e-9 {
+		t.Fatalf("full days = %v, want 1168", got)
+	}
+	if !PreOp().End.Equal(Op().Start) {
+		t.Fatal("periods must abut")
+	}
+}
+
+func TestTopologyMatchesPaper(t *testing.T) {
+	if Nodes != 106 || Nodes4+Nodes8 != Nodes {
+		t.Fatal("node counts inconsistent")
+	}
+	if Nodes4*4+Nodes8*8 != GPUs || GPUs != 448 {
+		t.Fatalf("GPU count = %d, want 448", Nodes4*4+Nodes8*8)
+	}
+}
+
+func TestScenarioIsValidClusterConfig(t *testing.T) {
+	for _, scale := range []float64{0.001, 0.1, 1.0} {
+		sc := NewScenario(1, scale)
+		if _, err := cluster.New(sc.Cluster); err != nil {
+			t.Fatalf("scale %v: %v", scale, err)
+		}
+	}
+}
+
+// TestQuotasImplyPaperCounts checks that episode quotas x mean sizes land on
+// the published Table I totals (the cascade/propagation terms are added
+// where relevant).
+func TestQuotasImplyPaperCounts(t *testing.T) {
+	specs := opFaults(1.0)
+	byKind := make(map[faults.Kind]faults.ProcessSpec)
+	for _, s := range specs {
+		byKind[s.Kind] = s
+	}
+	// MMU quota + PMU-propagated errors ~ 8,863.
+	mmu := byKind[faults.KindMMU]
+	pmu := byKind[faults.KindPMU]
+	pmuErrors := float64(pmu.Episodes) * pmu.MeanSize
+	implied := float64(mmu.Episodes)*mmu.MeanSize + pmuErrors
+	if math.Abs(implied-8863) > 150 {
+		t.Fatalf("implied MMU count = %.0f, want ~8863", implied)
+	}
+	if math.Abs(pmuErrors-77) > 5 {
+		t.Fatalf("implied PMU count = %.0f, want ~77", pmuErrors)
+	}
+	gsp := byKind[faults.KindGSP]
+	if implied := float64(gsp.Episodes) * gsp.MeanSize; math.Abs(implied-3857) > 120 {
+		t.Fatalf("implied GSP count = %.0f, want ~3857", implied)
+	}
+	// NVLink events = faults x (1 + propagation 0.42), minus ~10%
+	// in-episode coalescing at 45 s gaps.
+	nvl := byKind[faults.KindNVLink]
+	impliedNVL := float64(nvl.Episodes) * nvl.MeanSize * 1.42 * 0.895
+	if math.Abs(impliedNVL-1922) > 150 {
+		t.Fatalf("implied NVLink count = %.0f, want ~1922", impliedNVL)
+	}
+}
+
+func TestPaperTablesComplete(t *testing.T) {
+	rows := PaperTableI()
+	if len(rows) != 11 {
+		t.Fatalf("Table I rows = %d", len(rows))
+	}
+	groups := make(map[xid.Group]bool)
+	for _, r := range rows {
+		groups[r.Group] = true
+	}
+	for _, g := range xid.TableIGroups() {
+		if !groups[g] {
+			t.Fatalf("missing Table I group %q", g)
+		}
+	}
+	// Published totals: pre-op 42,405 including the derived row.
+	preTotal := 0
+	for _, r := range rows {
+		preTotal += r.PreOp.Count
+	}
+	if preTotal != 42405 {
+		t.Fatalf("pre-op total = %d, want 42405", preTotal)
+	}
+
+	if len(PaperTableII()) != 5 {
+		t.Fatal("Table II should have 5 rows")
+	}
+	for _, r := range PaperTableII() {
+		if r.GPUFailed > r.Encounters {
+			t.Fatalf("row %v has more failures than encounters", r.Code)
+		}
+		wantProb := 100 * float64(r.GPUFailed) / float64(r.Encounters)
+		if math.Abs(wantProb-r.FailureProb) > 0.01 {
+			t.Fatalf("row %v probability inconsistent: %v vs %v", r.Code, wantProb, r.FailureProb)
+		}
+	}
+}
+
+func TestFaultyGPUScenarioShape(t *testing.T) {
+	sc := FaultyGPU(1.0)
+	if sc.Node < 0 || sc.Node >= Nodes {
+		t.Fatalf("node = %d", sc.Node)
+	}
+	if !sc.BurstStart.After(sc.RootsStart) {
+		t.Fatal("burst must follow the root window start")
+	}
+	if got := sc.BurstDuration.Hours() / 24; math.Abs(got-17) > 1e-9 {
+		t.Fatalf("burst days = %v, want 17", got)
+	}
+	if sc.Memory.RemapFailProb == 0 || sc.Memory.ContainmentSuccessProb > 0.5 {
+		t.Fatal("faulty device must have broken remap and containment")
+	}
+	if PreOp().Contains(sc.BurstStart.Add(sc.BurstDuration)) == false {
+		t.Fatal("burst must end inside the pre-operational period")
+	}
+}
+
+func TestScaleCountFloorsAtOne(t *testing.T) {
+	if scaleCount(0, 0.5) != 0 {
+		t.Fatal("zero quota must stay zero")
+	}
+	if scaleCount(4, 0.01) != 1 {
+		t.Fatal("tiny scales must keep one episode")
+	}
+	if scaleCount(100, 0.5) != 50 {
+		t.Fatal("scaling wrong")
+	}
+}
+
+func TestRateModeVariesCounts(t *testing.T) {
+	base := NewScenario(1, 1.0)
+	total := func(specs []faults.ProcessSpec) int {
+		n := 0
+		for _, s := range specs {
+			n += s.Episodes
+		}
+		return n
+	}
+	baseTotal := total(base.Cluster.OpFaults)
+	var diffs int
+	var sum float64
+	const reps = 30
+	for seed := uint64(0); seed < reps; seed++ {
+		r := base.RateMode(seed)
+		rt := total(r.Cluster.OpFaults)
+		if rt != baseTotal {
+			diffs++
+		}
+		sum += float64(rt)
+		// Kinds and other parameters are untouched.
+		if len(r.Cluster.OpFaults) != len(base.Cluster.OpFaults) {
+			t.Fatal("rate mode changed the spec list")
+		}
+		for i, s := range r.Cluster.OpFaults {
+			if s.Kind != base.Cluster.OpFaults[i].Kind ||
+				s.MeanSize != base.Cluster.OpFaults[i].MeanSize {
+				t.Fatal("rate mode changed non-quota fields")
+			}
+		}
+		if _, err := cluster.New(r.Cluster); err != nil {
+			t.Fatalf("rate-mode config invalid: %v", err)
+		}
+	}
+	if diffs < reps/2 {
+		t.Fatalf("rate mode left quotas unchanged in %d/%d draws", reps-diffs, reps)
+	}
+	mean := sum / reps
+	if math.Abs(mean-float64(baseTotal)) > 0.05*float64(baseTotal) {
+		t.Fatalf("rate-mode mean %f drifted from quota %d", mean, baseTotal)
+	}
+}
+
+func TestHopperScenarioValid(t *testing.T) {
+	sc := NewHopperScenario(1, 0.05)
+	if _, err := cluster.New(sc.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cluster.Nodes4 != 114 || sc.Cluster.Nodes8 != 0 {
+		t.Fatalf("hopper topology = %d/%d", sc.Cluster.Nodes4, sc.Cluster.Nodes8)
+	}
+	// The projection halves the GSP storm volume per hour relative to A100.
+	var gsp faults.ProcessSpec
+	for _, s := range sc.Cluster.OpFaults {
+		if s.Kind == faults.KindGSP {
+			gsp = s
+		}
+	}
+	a100GSPPerHour := 3857.0 / Op().Hours()
+	hopperGSPPerHour := float64(gsp.Episodes) * gsp.MeanSize / sc.Cluster.Op.Hours() / 0.05
+	if hopperGSPPerHour > 0.6*a100GSPPerHour {
+		t.Fatalf("hopper GSP rate %.4f/h not reduced vs A100 %.4f/h",
+			hopperGSPPerHour, a100GSPPerHour)
+	}
+}

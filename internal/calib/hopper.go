@@ -1,0 +1,88 @@
+package calib
+
+import (
+	"time"
+
+	"gpuresilience/internal/cluster"
+	"gpuresilience/internal/faults"
+	"gpuresilience/internal/gpusim"
+	"gpuresilience/internal/nodesim"
+	"gpuresilience/internal/slurmsim"
+	"gpuresilience/internal/workload"
+)
+
+// NewHopperScenario builds the paper's stated future-work target: an NCSA
+// DeltaAI-like Grace Hopper partition (114 nodes, 4-way GH200/H100). This is
+// a PROJECTION, not field data — the paper publishes no H100 numbers. The
+// assumptions, relative to the calibrated A100 operational period, are
+// documented inline so ablations against them are explicit:
+//
+//   - GSP: firmware matured through the A100 generation; storm rate halved,
+//     storms shorter (the paper attributes A100 GSP fragility to the
+//     component being newly introduced).
+//   - HBM3 vs HBM2e: same uncorrectable-error management architecture
+//     (row remapping + containment), comparable root rates per GPU hour.
+//   - NVLink4: same CRC-and-replay design; per-link fault rate unchanged,
+//     propagation slightly lower with fewer bridged pairs per board.
+//   - MMU/PMU: unchanged per-GPU rates (no public evidence either way).
+//
+// The projection keeps Delta's workload shape and runs a single 2-year
+// operational period.
+func NewHopperScenario(seed uint64, scale float64) Scenario {
+	start := time.Date(2025, 7, 1, 0, 0, 0, 0, time.UTC)
+	split := start.Add(30 * 24 * time.Hour) // short burn-in window
+	end := start.Add(2 * 365 * 24 * time.Hour)
+
+	preOp := PreOp()
+	preOp.Start, preOp.End = start, split
+	op := Op()
+	op.Start, op.End = split, end
+
+	gpu := gpusim.Config{
+		Memory: gpusim.DefaultMemoryConfig(),
+		NVLink: gpusim.NVLinkConfig{PropagateProb: 0.35, ActiveFailProb: 0.80},
+	}
+
+	// A100 op rates per period-hour, scaled to the Hopper period length and
+	// the projection assumptions above.
+	hours := op.Hours() / Op().Hours()
+	wl := workload.DefaultConfig(seed, op, scale*hours)
+
+	opFaults := []faults.ProcessSpec{
+		{Kind: faults.KindMMU, Episodes: scaleCount(int(4100*hours), scale), MeanSize: 2.143,
+			MeanGap: 3 * time.Minute, ChronicFrac: 0.4},
+		{Kind: faults.KindGSP, Episodes: scaleCount(int(17*hours), scale), MeanSize: 55,
+			MeanGap: 4 * time.Minute, ChronicFrac: 0.5},
+		{Kind: faults.KindNVLink, Episodes: scaleCount(int(72*hours), scale), MeanSize: 21.1,
+			MeanGap: 45 * time.Second, ChronicFrac: 0.5},
+		{Kind: faults.KindPMU, Episodes: scaleCount(int(54*hours), scale), MeanSize: 1.45,
+			MeanGap: 2 * time.Minute, ChronicFrac: 0.3},
+		{Kind: faults.KindBusOff, Episodes: scaleCount(int(10*hours), scale), MeanSize: 1,
+			MeanGap: time.Minute},
+		{Kind: faults.KindUncorrectable, Episodes: scaleCount(int(34*hours), scale), MeanSize: 1,
+			MeanGap: time.Minute},
+	}
+
+	return Scenario{
+		Scale: scale,
+		Cluster: cluster.Config{
+			Seed:              seed,
+			Nodes4:            114,
+			Nodes8:            0,
+			PreOp:             preOp,
+			Op:                op,
+			GPUPreOp:          gpu,
+			GPUOp:             gpu,
+			Node:              nodesim.DefaultConfig(),
+			Sched:             slurmsim.DefaultConfig(),
+			OpFaults:          opFaults,
+			ChronicNodes:      8,
+			Rules:             Rules(),
+			PMUPropagateProb:  1.0,
+			PMUPropagateDelay: 5 * time.Second,
+			GSPTimeoutProb:    0.6,
+			NVLinkActiveBias:  0.85,
+			Workload:          &wl,
+		},
+	}
+}

@@ -1,0 +1,123 @@
+// Package checkpoint models the mitigation §V-B discusses: application
+// checkpointing. Given the job records and the set of GPU-failure kills the
+// study identifies, it estimates how many GPU hours checkpointing would have
+// recovered at a given interval and cost, and computes the Young/Daly
+// optimal interval from the measured MTBF.
+//
+// The model is the standard first-order one: a job killed by a GPU error
+// loses the work since its last checkpoint plus a restart cost, instead of
+// its entire elapsed time; in exchange, every job (failed or not) pays the
+// checkpoint overhead throughout its run.
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"gpuresilience/internal/slurmsim"
+)
+
+// Policy is a checkpointing configuration.
+type Policy struct {
+	// Interval between checkpoints. Zero disables checkpointing.
+	Interval time.Duration
+	// Cost of writing one checkpoint (job stalls for this long).
+	Cost time.Duration
+	// Restart is the cost of loading the last checkpoint after a failure.
+	Restart time.Duration
+}
+
+func (p Policy) validate() error {
+	if p.Interval < 0 || p.Cost < 0 || p.Restart < 0 {
+		return errors.New("checkpoint: negative policy durations")
+	}
+	if p.Interval > 0 && p.Cost >= p.Interval {
+		return errors.New("checkpoint: cost must be below the interval")
+	}
+	return nil
+}
+
+// YoungDaly returns the first-order optimal checkpoint interval
+// sqrt(2 * cost * MTBF) for a given per-job failure rate.
+func YoungDaly(cost, mtbf time.Duration) (time.Duration, error) {
+	if cost <= 0 || mtbf <= 0 {
+		return 0, errors.New("checkpoint: cost and MTBF must be positive")
+	}
+	secs := math.Sqrt(2 * cost.Seconds() * mtbf.Seconds())
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
+// Outcome summarizes a policy evaluation over a job population.
+type Outcome struct {
+	Policy Policy
+	// JobsAnalyzed counts started terminal jobs.
+	JobsAnalyzed int
+	// GPUFailedJobs counts jobs killed by GPU/node failures (NODE_FAIL).
+	GPUFailedJobs int
+	// LostGPUHoursNoCkpt is the work destroyed by those kills as observed:
+	// the entire elapsed GPU-time of each killed job.
+	LostGPUHoursNoCkpt float64
+	// LostGPUHoursWithCkpt is what would have been destroyed under the
+	// policy: work since the last checkpoint plus the restart cost.
+	LostGPUHoursWithCkpt float64
+	// OverheadGPUHours is the checkpoint-writing cost paid by all jobs.
+	OverheadGPUHours float64
+	// NetSavedGPUHours = saved lost work - overhead. Positive means the
+	// policy pays off for this population.
+	NetSavedGPUHours float64
+}
+
+// Evaluate applies a policy to the job records. Jobs whose state is
+// NODE_FAIL are treated as GPU-failure victims (the simulator uses that
+// state for error kills, matching Slurm's behavior on node failures).
+func Evaluate(jobs []*slurmsim.Job, policy Policy) (Outcome, error) {
+	if err := policy.validate(); err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Policy: policy}
+	for _, j := range jobs {
+		if j.Start.IsZero() || !j.State.Terminal() {
+			continue
+		}
+		out.JobsAnalyzed++
+		elapsed := j.Elapsed()
+		gpus := float64(j.GPUs)
+
+		if policy.Interval > 0 {
+			// Every running job pays the checkpoint overhead.
+			nCkpts := int(elapsed / policy.Interval)
+			out.OverheadGPUHours += float64(nCkpts) * policy.Cost.Hours() * gpus
+		}
+		if j.State != slurmsim.StateNodeFail {
+			continue
+		}
+		out.GPUFailedJobs++
+		out.LostGPUHoursNoCkpt += elapsed.Hours() * gpus
+		if policy.Interval > 0 {
+			sinceCkpt := elapsed % policy.Interval
+			lost := sinceCkpt + policy.Restart
+			if lost > elapsed {
+				lost = elapsed
+			}
+			out.LostGPUHoursWithCkpt += lost.Hours() * gpus
+		} else {
+			out.LostGPUHoursWithCkpt += elapsed.Hours() * gpus
+		}
+	}
+	out.NetSavedGPUHours = out.LostGPUHoursNoCkpt - out.LostGPUHoursWithCkpt - out.OverheadGPUHours
+	return out, nil
+}
+
+// Sweep evaluates a set of intervals with fixed cost/restart.
+func Sweep(jobs []*slurmsim.Job, intervals []time.Duration, cost, restart time.Duration) ([]Outcome, error) {
+	out := make([]Outcome, 0, len(intervals))
+	for _, iv := range intervals {
+		o, err := Evaluate(jobs, Policy{Interval: iv, Cost: cost, Restart: restart})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gpuresilience/internal/nodesim"
+)
+
+// downtimeHeader is the column header of the repair-log dump.
+const downtimeHeader = "Node|Start|End|Reason|Swapped"
+
+// WriteDowntimes persists node downtime intervals as a parsable log.
+func WriteDowntimes(w io.Writer, downtimes []NodeDowntime) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, downtimeHeader); err != nil {
+		return err
+	}
+	for _, d := range downtimes {
+		swapped := "0"
+		if d.Swapped {
+			swapped = "1"
+		}
+		reason := strings.NewReplacer("|", "_", "\n", " ").Replace(d.Reason)
+		if _, err := fmt.Fprintf(bw, "%s|%s|%s|%s|%s\n",
+			d.Node, d.Start.UTC().Format(time.RFC3339Nano),
+			d.End.UTC().Format(time.RFC3339Nano), reason, swapped); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDowntimes parses a dump produced by WriteDowntimes.
+func ReadDowntimes(r io.Reader) ([]NodeDowntime, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out []NodeDowntime
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo == 1 {
+			if line != downtimeHeader {
+				return nil, fmt.Errorf("cluster: unexpected repair-log header %q", line)
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("cluster: repair-log line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		start, err := time.Parse(time.RFC3339Nano, fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: repair-log line %d: %w", lineNo, err)
+		}
+		end, err := time.Parse(time.RFC3339Nano, fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: repair-log line %d: %w", lineNo, err)
+		}
+		out = append(out, NodeDowntime{
+			Node: fields[0],
+			Downtime: nodesim.Downtime{
+				Start:   start,
+				End:     end,
+				Reason:  fields[3],
+				Swapped: fields[4] == "1",
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Durations extracts the repair interval lengths for availability analysis.
+func Durations(downtimes []NodeDowntime) []time.Duration {
+	out := make([]time.Duration, len(downtimes))
+	for i, d := range downtimes {
+		out[i] = d.Duration()
+	}
+	return out
+}

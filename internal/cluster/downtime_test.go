@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/nodesim"
+)
+
+func sampleDowntimes() []NodeDowntime {
+	t0 := time.Date(2023, 3, 1, 10, 0, 0, 0, time.UTC)
+	return []NodeDowntime{
+		{Node: "gpub001", Downtime: nodesim.Downtime{
+			Start: t0, End: t0.Add(45 * time.Minute), Reason: "gsp storm"}},
+		{Node: "gpub013", Downtime: nodesim.Downtime{
+			Start: t0.Add(time.Hour), End: t0.Add(5 * time.Hour),
+			Reason: "faulty GPU replacement", Swapped: true}},
+		{Node: "gpub050", Downtime: nodesim.Downtime{
+			Start: t0.Add(2 * time.Hour), End: t0.Add(2*time.Hour + 30*time.Minute),
+			Reason: "weird|reason\nwith newline"}},
+	}
+}
+
+func TestDowntimeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDowntimes(&buf, sampleDowntimes()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDowntimes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleDowntimes()
+	if len(back) != len(want) {
+		t.Fatalf("got %d entries", len(back))
+	}
+	for i := range want {
+		if back[i].Node != want[i].Node || !back[i].Start.Equal(want[i].Start) ||
+			!back[i].End.Equal(want[i].End) || back[i].Swapped != want[i].Swapped {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, back[i], want[i])
+		}
+	}
+	// The separator and newline in the reason were sanitized.
+	if strings.ContainsAny(back[2].Reason, "|\n") {
+		t.Fatalf("reason not sanitized: %q", back[2].Reason)
+	}
+}
+
+func TestDowntimeDurations(t *testing.T) {
+	ds := Durations(sampleDowntimes())
+	if len(ds) != 3 || ds[0] != 45*time.Minute || ds[1] != 4*time.Hour {
+		t.Fatalf("durations = %v", ds)
+	}
+}
+
+func TestReadDowntimesErrors(t *testing.T) {
+	if _, err := ReadDowntimes(strings.NewReader("bad header\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	bad := "Node|Start|End|Reason|Swapped\ntoo|few\n"
+	if _, err := ReadDowntimes(strings.NewReader(bad)); err == nil {
+		t.Fatal("short line accepted")
+	}
+	bad = "Node|Start|End|Reason|Swapped\nn|not-a-time|2023-01-01T00:00:00Z|r|0\n"
+	if _, err := ReadDowntimes(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad start time accepted")
+	}
+	bad = "Node|Start|End|Reason|Swapped\nn|2023-01-01T00:00:00Z|not-a-time|r|0\n"
+	if _, err := ReadDowntimes(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad end time accepted")
+	}
+	// Empty log (header only) is valid.
+	got, err := ReadDowntimes(strings.NewReader("Node|Start|End|Reason|Swapped\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty log: %v %v", got, err)
+	}
+}
+
+func TestRateModeChangesQuotasOnly(t *testing.T) {
+	// RateMode lives in calib but exercises the cluster config; validate the
+	// shape here via a tiny simulation config (no import cycle: this test
+	// builds specs directly).
+	cfg := testConfig(99)
+	cfg.OpFaults = nil
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package coalesce implements Stage II of the study's pipeline: error
+// coalescing. The same GPU error produces multiple near-identical log lines
+// in close succession; counting each line as an error would grossly
+// underestimate GPU resilience (§III-B). Coalescing keeps only the first
+// occurrence of each (node, GPU, XID) within a window Δt anchored at the
+// last kept occurrence.
+package coalesce
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"gpuresilience/internal/xid"
+)
+
+// DefaultWindow is the Δt used throughout the study's reproduction. Raw
+// duplicate lines arrive milliseconds apart; genuine repeats of a persistent
+// fault arrive minutes apart, so a seconds-scale window separates the two.
+const DefaultWindow = 5 * time.Second
+
+// Coalescer is a streaming deduplicator. Feed it events in roughly
+// increasing time order (the order raw logs are read); events that land
+// inside the window of the last kept occurrence of their key are dropped
+// even if they arrive slightly out of order.
+type Coalescer struct {
+	window   time.Duration
+	lastKept map[xid.Key]time.Time
+	raw      int
+	kept     int
+}
+
+// New returns a Coalescer with the given window. A zero window disables
+// coalescing (every event is kept), which is the "no dedup" ablation.
+func New(window time.Duration) (*Coalescer, error) {
+	if window < 0 {
+		return nil, errors.New("coalesce: negative window")
+	}
+	return &Coalescer{
+		window:   window,
+		lastKept: make(map[xid.Key]time.Time),
+	}, nil
+}
+
+// Add offers one raw event and reports whether it was kept (i.e. it is the
+// first occurrence of its key within the window).
+func (c *Coalescer) Add(ev xid.Event) bool {
+	c.raw++
+	key := ev.Key()
+	if last, seen := c.lastKept[key]; seen {
+		if ev.Time.Before(last.Add(c.window)) && !ev.Time.Before(last.Add(-c.window)) {
+			return false
+		}
+	}
+	c.lastKept[key] = ev.Time
+	c.kept++
+	return true
+}
+
+// Raw returns how many events were offered.
+func (c *Coalescer) Raw() int { return c.raw }
+
+// Kept returns how many events were kept.
+func (c *Coalescer) Kept() int { return c.kept }
+
+// Events coalesces a batch: it sorts a copy by (time, node, gpu, code) and
+// returns the kept events in order.
+func Events(events []xid.Event, window time.Duration) ([]xid.Event, error) {
+	c, err := New(window)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]xid.Event, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, k int) bool {
+		a, b := sorted[i], sorted[k]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.GPU != b.GPU {
+			return a.GPU < b.GPU
+		}
+		return a.Code < b.Code
+	})
+	out := make([]xid.Event, 0, len(sorted))
+	for _, ev := range sorted {
+		if c.Add(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+// CountByCode tallies events per XID code.
+func CountByCode(events []xid.Event) map[xid.Code]int {
+	out := make(map[xid.Code]int)
+	for _, ev := range events {
+		out[ev.Code]++
+	}
+	return out
+}
+
+// CountByGroup tallies events per Table I row group, skipping codes with no
+// row (the excluded software XIDs).
+func CountByGroup(events []xid.Event) map[xid.Group]int {
+	out := make(map[xid.Group]int)
+	for _, ev := range events {
+		if g, ok := xid.GroupOf(ev.Code); ok {
+			out[g]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,443 @@
+// Package core is the study's characterization pipeline (Fig. 1) packaged
+// end to end:
+//
+//	Stage I   — regex extraction of XID records from raw system logs
+//	            (internal/syslog) and job records from the Slurm database
+//	            (internal/slurmsim).
+//	Stage II  — error coalescing with a Δt window (internal/coalesce).
+//	Stage III — resilience statistics (Table I), job-impact correlation
+//	            (Table II), workload statistics (Table III), and
+//	            availability analysis (Figure 2).
+//
+// Analyze consumes parsed inputs; AnalyzeLogs runs Stage I first; EndToEnd
+// runs the whole reproduction: simulate the cluster, emit raw logs, read
+// them back, and characterize.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gpuresilience/internal/avail"
+	"gpuresilience/internal/cluster"
+	"gpuresilience/internal/coalesce"
+	"gpuresilience/internal/impact"
+	"gpuresilience/internal/slurmsim"
+	"gpuresilience/internal/stats"
+	"gpuresilience/internal/syslog"
+	"gpuresilience/internal/workload"
+	"gpuresilience/internal/xid"
+)
+
+// PipelineConfig parameterizes the analysis stages.
+type PipelineConfig struct {
+	// CoalesceWindow is Stage II's Δt.
+	CoalesceWindow time.Duration
+	// AttributionWindow is Stage III's job-failure window.
+	AttributionWindow time.Duration
+	PreOp             stats.Period
+	Op                stats.Period
+	// Nodes is the per-node MTBE multiplier (106 on Delta).
+	Nodes int
+	// OutlierStreamFraction marks a (node, GPU, code) stream as an outlier
+	// when it alone contributes more than this fraction of a period's
+	// errors (and at least OutlierMinCount of them); outliers are excluded
+	// from the headline per-node MTBE the way the SREs excluded the
+	// 38,900-error faulty GPU. Zero disables outlier exclusion.
+	OutlierStreamFraction float64
+	// OutlierMinCount is the absolute floor below which a stream is never
+	// an outlier, guarding small datasets.
+	OutlierMinCount int
+}
+
+// DefaultPipelineConfig returns the paper's analysis settings.
+func DefaultPipelineConfig(preOp, op stats.Period, nodes int) PipelineConfig {
+	return PipelineConfig{
+		CoalesceWindow:        coalesce.DefaultWindow,
+		AttributionWindow:     impact.DefaultAttributionWindow,
+		PreOp:                 preOp,
+		Op:                    op,
+		Nodes:                 nodes,
+		OutlierStreamFraction: 0.25,
+		OutlierMinCount:       100,
+	}
+}
+
+func (c PipelineConfig) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("core: non-positive node count %d", c.Nodes)
+	}
+	if err := c.PreOp.Validate(); err != nil {
+		return err
+	}
+	return c.Op.Validate()
+}
+
+// TableIRow is one computed Table I row.
+type TableIRow struct {
+	Group    xid.Group
+	Category xid.Category
+	PreOp    Cell
+	Op       Cell
+}
+
+// Cell is one count + MTBE cell. MTBE fields are zero when Count is zero
+// (rendered as "-").
+type Cell struct {
+	Count int
+	MTBE  stats.MTBE
+}
+
+// PeriodSummary aggregates one period.
+type PeriodSummary struct {
+	Period stats.Period
+	// Total counts every Table I row (including the derived uncorrectable
+	// ECC row, matching the paper's 42,405 / 14,821 totals).
+	Total int
+	// TotalExclOutliers removes outlier bursts (the faulty GPU's 38,900).
+	TotalExclOutliers int
+	// PerNodeMTBE uses TotalExclOutliers (the paper's headline numbers).
+	PerNodeMTBE float64
+	// MemoryPerNodeMTBE and HardwarePerNodeMTBE drive finding (ii); the
+	// hardware figure includes the interconnect, as the paper's 160x does.
+	MemoryPerNodeMTBE   float64
+	HardwarePerNodeMTBE float64
+	// OutlierErrors is how many errors outlier streams contributed.
+	OutlierErrors int
+}
+
+// Results is the full pipeline output.
+type Results struct {
+	Extract syslog.ExtractStats
+	// RawEvents and CoalescedEvents count Stage II input/output.
+	RawEvents       int
+	CoalescedEvents int
+
+	TableI     []TableIRow
+	PreSummary PeriodSummary
+	OpSummary  PeriodSummary
+
+	TableII  impact.Correlation
+	TableIII []impact.TableIIIRow
+	JobStats impact.JobStats
+
+	Avail avail.Analysis
+}
+
+// Analyze runs Stages II and III over parsed inputs. repairs are the node
+// unavailability intervals; cpu is the CPU-partition summary for §V-A.
+func Analyze(events []xid.Event, jobs []*slurmsim.Job, repairs []time.Duration,
+	cpu workload.CPURecord, cfg PipelineConfig) (*Results, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	coalesced, err := coalesce.Events(events, cfg.CoalesceWindow)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{
+		RawEvents:       len(events),
+		CoalescedEvents: len(coalesced),
+	}
+
+	if err := res.fillTableI(coalesced, cfg); err != nil {
+		return nil, err
+	}
+
+	cor, err := impact.Correlate(jobs, coalesced, impact.Config{
+		AttributionWindow: cfg.AttributionWindow,
+		Period:            cfg.Op,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.TableII = cor
+	res.TableIII = impact.TableIII(jobs)
+	res.JobStats = impact.ComputeJobStats(jobs, cpu.Total, cpu.Succeeded)
+
+	full := stats.Period{Name: "characterization", Start: cfg.PreOp.Start, End: cfg.Op.End}
+	errorCount := res.PreSummary.TotalExclOutliers + res.OpSummary.TotalExclOutliers
+	availRes, err := avail.Analyze(repairs, avail.DefaultConfig(full, cfg.Nodes, errorCount))
+	if err != nil {
+		return nil, err
+	}
+	res.Avail = availRes
+	return res, nil
+}
+
+// fillTableI computes per-group counts and MTBEs for both periods.
+func (r *Results) fillTableI(events []xid.Event, cfg PipelineConfig) error {
+	type periodCounts struct {
+		byGroup  map[xid.Group]int
+		byStream map[xid.Key]int
+		total    int
+		outliers int
+		memory   int
+		hardware int // hardware + interconnect, as in finding (ii)
+	}
+	count := func(p stats.Period) periodCounts {
+		pc := periodCounts{
+			byGroup:  make(map[xid.Group]int),
+			byStream: make(map[xid.Key]int),
+		}
+		for _, ev := range events {
+			if !p.Contains(ev.Time) || !ev.Code.InStats() {
+				continue
+			}
+			g, ok := xid.GroupOf(ev.Code)
+			if !ok {
+				continue
+			}
+			pc.byGroup[g]++
+			pc.byStream[ev.Key()]++
+		}
+		// Derived row: uncorrectable ECC = remap attempts (RRE + RRF).
+		pc.byGroup[xid.GroupUncorrECC] = pc.byGroup[xid.GroupRRE] + pc.byGroup[xid.GroupRRF]
+		for g, n := range pc.byGroup {
+			pc.total += n
+			switch xid.GroupCategory(g) {
+			case xid.CategoryMemory:
+				pc.memory += n
+			default:
+				pc.hardware += n
+			}
+		}
+		if cfg.OutlierStreamFraction > 0 {
+			floor := cfg.OutlierMinCount
+			if floor < 1 {
+				floor = 1
+			}
+			for _, n := range pc.byStream {
+				if n >= floor && float64(n) > cfg.OutlierStreamFraction*float64(pc.total) {
+					pc.outliers += n
+				}
+			}
+		}
+		return pc
+	}
+
+	pre := count(cfg.PreOp)
+	op := count(cfg.Op)
+
+	cell := func(n int, p stats.Period) (Cell, error) {
+		c := Cell{Count: n}
+		if n == 0 {
+			return c, nil
+		}
+		m, err := stats.ComputeMTBE(n, p, cfg.Nodes)
+		if err != nil {
+			return Cell{}, err
+		}
+		c.MTBE = m
+		return c, nil
+	}
+
+	for _, g := range xid.TableIGroups() {
+		preCell, err := cell(pre.byGroup[g], cfg.PreOp)
+		if err != nil {
+			return err
+		}
+		opCell, err := cell(op.byGroup[g], cfg.Op)
+		if err != nil {
+			return err
+		}
+		r.TableI = append(r.TableI, TableIRow{
+			Group:    g,
+			Category: xid.GroupCategory(g),
+			PreOp:    preCell,
+			Op:       opCell,
+		})
+	}
+
+	summarize := func(pc periodCounts, p stats.Period) (PeriodSummary, error) {
+		s := PeriodSummary{
+			Period:            p,
+			Total:             pc.total,
+			TotalExclOutliers: pc.total - pc.outliers,
+			OutlierErrors:     pc.outliers,
+		}
+		if s.TotalExclOutliers > 0 {
+			m, err := stats.ComputeMTBE(s.TotalExclOutliers, p, cfg.Nodes)
+			if err != nil {
+				return s, err
+			}
+			s.PerNodeMTBE = m.PerNode
+		}
+		// The category split mirrors the paper: memory counts include the
+		// derived uncorrectable ECC row; outlier streams are memory bursts
+		// and are excluded from the memory figure too.
+		mem := pc.memory - pc.outliers
+		if mem > 0 {
+			m, err := stats.ComputeMTBE(mem, p, cfg.Nodes)
+			if err != nil {
+				return s, err
+			}
+			s.MemoryPerNodeMTBE = m.PerNode
+		}
+		if pc.hardware > 0 {
+			m, err := stats.ComputeMTBE(pc.hardware, p, cfg.Nodes)
+			if err != nil {
+				return s, err
+			}
+			s.HardwarePerNodeMTBE = m.PerNode
+		}
+		return s, nil
+	}
+	var err error
+	if r.PreSummary, err = summarize(pre, cfg.PreOp); err != nil {
+		return err
+	}
+	r.OpSummary, err = summarize(op, cfg.Op)
+	return err
+}
+
+// Row returns the Table I row for a group.
+func (r *Results) Row(g xid.Group) (TableIRow, bool) {
+	for _, row := range r.TableI {
+		if row.Group == g {
+			return row, true
+		}
+	}
+	return TableIRow{}, false
+}
+
+// ExtractEvents runs Stage I over a raw log stream.
+func ExtractEvents(r io.Reader) ([]xid.Event, syslog.ExtractStats, error) {
+	var events []xid.Event
+	st, err := syslog.Extract(r, func(ev xid.Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	return events, st, err
+}
+
+// AnalyzeLogs runs the full pipeline from raw inputs: a syslog stream and a
+// sacct-style job database dump.
+func AnalyzeLogs(logs io.Reader, jobDB io.Reader, repairs []time.Duration,
+	cpu workload.CPURecord, cfg PipelineConfig) (*Results, error) {
+	events, st, err := ExtractEvents(logs)
+	if err != nil {
+		return nil, fmt.Errorf("core: stage I: %w", err)
+	}
+	var jobs []*slurmsim.Job
+	if jobDB != nil {
+		jobs, err = slurmsim.LoadDB(jobDB)
+		if err != nil {
+			return nil, fmt.Errorf("core: load job DB: %w", err)
+		}
+	}
+	res, err := Analyze(events, jobs, repairs, cpu, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Extract = st
+	return res, nil
+}
+
+// EndToEndConfig couples a simulation with pipeline settings.
+type EndToEndConfig struct {
+	Cluster  cluster.Config
+	Pipeline PipelineConfig
+	// LogWriterConfig controls raw-line emission; zero value uses defaults.
+	LogWriter syslog.WriterConfig
+	// KeepRawLogs routes the raw log bytes through w when non-nil (e.g. to
+	// persist the dataset); otherwise lines stream straight into Stage I.
+	KeepRawLogs io.Writer
+	// KeepRawEvents retains the Stage I output (pre-coalescing, one event
+	// per raw log line) in the result, for coalescing ablations.
+	KeepRawEvents bool
+}
+
+// EndToEndResult carries the analysis plus simulation ground truth for
+// validation.
+type EndToEndResult struct {
+	Results *Results
+	// Truth is the simulator's own event stream (pre-duplication), for
+	// validating the pipeline against ground truth.
+	Truth *cluster.Result
+	// RawLogLines is how many raw lines the syslog stage produced.
+	RawLogLines int
+	// RawEvents is the Stage I output (only when KeepRawEvents was set).
+	RawEvents []xid.Event
+}
+
+// EndToEnd runs simulate -> emit raw logs -> extract -> coalesce ->
+// characterize in a single streaming pass.
+func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
+	sim, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stream raw lines from the simulator into Stage I through a pipe of
+	// parsed events: the writer formats (with duplication and noise), and a
+	// line-buffered reader side extracts. To keep it single-threaded we
+	// format into an in-memory spool per event and parse immediately.
+	pr, pw := io.Pipe()
+	logDst := io.Writer(pw)
+	if cfg.KeepRawLogs != nil {
+		logDst = io.MultiWriter(pw, cfg.KeepRawLogs)
+	}
+	wcfg := cfg.LogWriter
+	if wcfg.DefaultDupMean == 0 {
+		wcfg = syslog.DefaultWriterConfig()
+	}
+	writer, err := syslog.NewWriter(logDst, wcfg, cfg.Cluster.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sim.SetEventSink(func(ev xid.Event) error {
+		_, werr := writer.WriteEvent(ev)
+		return werr
+	})
+
+	type extractOut struct {
+		events []xid.Event
+		stats  syslog.ExtractStats
+		err    error
+	}
+	done := make(chan extractOut, 1)
+	go func() {
+		events, st, err := ExtractEvents(pr)
+		done <- extractOut{events: events, stats: st, err: err}
+	}()
+
+	truth, runErr := sim.Run()
+	if runErr != nil {
+		_ = pw.CloseWithError(runErr)
+		<-done
+		return nil, runErr
+	}
+	if err := writer.Flush(); err != nil {
+		_ = pw.CloseWithError(err)
+		<-done
+		return nil, err
+	}
+	if err := pw.Close(); err != nil {
+		return nil, err
+	}
+	ext := <-done
+	if ext.err != nil {
+		return nil, fmt.Errorf("core: stage I: %w", ext.err)
+	}
+
+	repairs := make([]time.Duration, 0, len(truth.Downtimes))
+	for _, d := range truth.Downtimes {
+		repairs = append(repairs, d.Duration())
+	}
+	res, err := Analyze(ext.events, truth.Jobs, repairs, truth.CPU, cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	res.Extract = ext.stats
+	out := &EndToEndResult{
+		Results:     res,
+		Truth:       truth,
+		RawLogLines: writer.Lines(),
+	}
+	if cfg.KeepRawEvents {
+		out.RawEvents = ext.events
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/coalesce"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/correlation"
+	"gpuresilience/internal/survival"
+	"gpuresilience/internal/xid"
+)
+
+// TestShapeValidationModerateScale runs the calibrated reproduction at 15%
+// scale (~220k jobs, a few seconds) and validates the paper's *derived*
+// findings — the ones that must emerge from mechanisms rather than from
+// configured quotas. Skipped under -short.
+func TestShapeValidationModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale validation skipped in -short mode")
+	}
+	sc := calib.NewScenario(21, 0.15)
+	out, err := core.EndToEnd(core.EndToEndConfig{
+		Cluster:  sc.Cluster,
+		Pipeline: core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.Results
+
+	// Finding (i) scale-invariant half: the op/pre-op MTBE ratio. Counts
+	// scale linearly with the scenario scale, so the ratio is preserved.
+	ratio := res.OpSummary.PerNodeMTBE / res.PreSummary.PerNodeMTBE
+	if math.Abs(ratio-154.0/199.0) > 0.12 {
+		t.Errorf("op/pre-op MTBE ratio = %.2f, want ~0.77", ratio)
+	}
+
+	// Finding (ii): memory vs hardware ~160x, scale-invariant.
+	memRatio := res.OpSummary.MemoryPerNodeMTBE / res.OpSummary.HardwarePerNodeMTBE
+	if memRatio < 100 || memRatio > 260 {
+		t.Errorf("memory/hardware ratio = %.0f, want ~160", memRatio)
+	}
+
+	// Finding (iii): GSP errors kill 100% of encountered jobs.
+	if row, ok := res.TableII.Row(xid.GSPRPCTimeout); ok && row.JobsEncountering > 0 {
+		if row.FailureProb < 0.999 {
+			t.Errorf("GSP failure probability = %.3f, want 1.0", row.FailureProb)
+		}
+	}
+
+	// Finding (iv) mechanism: some NVLink-encountering jobs survive, and
+	// the PMU->MMU lag correlation is strong.
+	if row, ok := res.TableII.Row(xid.NVLink); ok && row.JobsEncountering >= 10 {
+		if row.FailureProb < 0.3 || row.FailureProb > 0.8 {
+			t.Errorf("NVLink failure probability = %.3f, want ~0.54", row.FailureProb)
+		}
+	}
+	events, err := coalesce.Events(out.Truth.Events, coalesce.DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac, err := correlation.LagCorrelation(events, xid.PMUSPIReadFail, xid.MMU, 20*time.Second); err == nil {
+		if frac < 0.9 {
+			t.Errorf("PMU->MMU lag correlation = %.2f, want ~1.0", frac)
+		}
+	}
+
+	// MMU masking: failure probability ~0.905 with real survivors.
+	if row, ok := res.TableII.Row(xid.MMU); ok {
+		if row.JobsEncountering < 50 {
+			t.Fatalf("MMU encounters = %d, too few for the probability check", row.JobsEncountering)
+		}
+		if math.Abs(row.FailureProb-0.905) > 0.08 {
+			t.Errorf("MMU failure probability = %.3f, want ~0.905", row.FailureProb)
+		}
+	} else {
+		t.Error("no MMU row")
+	}
+
+	// §V-A: success rate ~74.7% (emergent from baseline + timeouts + kills).
+	if math.Abs(res.JobStats.GPUSuccessRate-0.7468) > 0.015 {
+		t.Errorf("GPU success rate = %.4f, want ~0.7468", res.JobStats.GPUSuccessRate)
+	}
+
+	// Stage II: raw lines exceed true errors by the duplication factor; the
+	// pipeline recovers the truth within 2%.
+	if out.RawLogLines < 2*len(out.Truth.Events) {
+		t.Errorf("raw lines %d vs true events %d: duplication missing",
+			out.RawLogLines, len(out.Truth.Events))
+	}
+	truthN := len(out.Truth.Events)
+	if diff := res.CoalescedEvents - truthN; diff < -truthN/50 || diff > truthN/50 {
+		t.Errorf("recovered %d events vs truth %d", res.CoalescedEvents, truthN)
+	}
+
+	// Error-gap clustering: Weibull shape well below 1 (bursty repeats),
+	// matching the episode structure of the field data.
+	gaps := survival.InterEventHours(events, nil)
+	if len(gaps) > 100 {
+		if w, err := survival.FitWeibull(gaps); err == nil && w.Shape > 0.8 {
+			t.Errorf("inter-error Weibull shape = %.2f, want < 0.8 (clustered)", w.Shape)
+		}
+	}
+
+	// Availability arithmetic is self-consistent.
+	a := res.Avail
+	if a.Repairs == 0 || a.MTTRHours <= 0 || a.Availability <= 0.9 || a.Availability >= 1 {
+		t.Errorf("availability block inconsistent: %+v", a)
+	}
+	wantAvail := a.MTTFHours / (a.MTTFHours + a.MTTRHours)
+	if math.Abs(a.Availability-wantAvail) > 1e-9 {
+		t.Errorf("availability %.6f != MTTF/(MTTF+MTTR) %.6f", a.Availability, wantAvail)
+	}
+}

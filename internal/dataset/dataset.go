@@ -1,0 +1,145 @@
+// Package dataset defines the on-disk layout of a simulated Delta dataset —
+// the raw system log, the sacct-style job database, and the node repair log
+// — plus a manifest with provenance (seed, scale) and content digests, so
+// analysis results can always be traced to the exact inputs that produced
+// them.
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Standard file names inside a dataset directory.
+const (
+	SyslogFile   = "syslog.txt"
+	JobsFile     = "jobs.db"
+	RepairsFile  = "repairs.log"
+	ManifestFile = "manifest.json"
+)
+
+// FileInfo records one artifact's size and digest.
+type FileInfo struct {
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest describes a dataset.
+type Manifest struct {
+	FormatVersion int                 `json:"formatVersion"`
+	Seed          uint64              `json:"seed"`
+	Scale         float64             `json:"scale"`
+	Description   string              `json:"description,omitempty"`
+	Files         map[string]FileInfo `json:"files"`
+}
+
+// currentFormat is the manifest format this package writes.
+const currentFormat = 1
+
+// hashFile returns the size and SHA-256 of a file.
+func hashFile(path string) (FileInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Bytes: n, SHA256: hex.EncodeToString(h.Sum(nil))}, nil
+}
+
+// WriteManifest hashes the dataset artifacts present in dir and writes the
+// manifest. At least the syslog must exist; jobs and repairs are optional
+// (job-free simulations).
+func WriteManifest(dir string, seed uint64, scale float64, description string) (Manifest, error) {
+	m := Manifest{
+		FormatVersion: currentFormat,
+		Seed:          seed,
+		Scale:         scale,
+		Description:   description,
+		Files:         make(map[string]FileInfo),
+	}
+	found := false
+	for _, name := range []string{SyslogFile, JobsFile, RepairsFile} {
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		info, err := hashFile(path)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("dataset: hash %s: %w", name, err)
+		}
+		m.Files[name] = info
+		found = true
+	}
+	if !found {
+		return Manifest{}, errors.New("dataset: no artifacts in directory")
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return Manifest{}, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), append(data, '\n'), 0o644); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// LoadManifest reads a dataset's manifest.
+func LoadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("dataset: parse manifest: %w", err)
+	}
+	if m.FormatVersion != currentFormat {
+		return Manifest{}, fmt.Errorf("dataset: unsupported manifest version %d", m.FormatVersion)
+	}
+	return m, nil
+}
+
+// Verify recomputes the digests of every artifact the manifest lists.
+func Verify(dir string) (Manifest, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return Manifest{}, err
+	}
+	for name, want := range m.Files {
+		got, err := hashFile(filepath.Join(dir, name))
+		if err != nil {
+			return Manifest{}, fmt.Errorf("dataset: %s: %w", name, err)
+		}
+		if got != want {
+			return Manifest{}, fmt.Errorf("dataset: %s corrupted: size %d/%d sha %s/%s",
+				name, got.Bytes, want.Bytes, got.SHA256[:12], want.SHA256[:12])
+		}
+	}
+	return m, nil
+}
+
+// Path returns the full path of an artifact inside the dataset, checking it
+// is listed in the manifest.
+func (m Manifest) Path(dir, name string) (string, error) {
+	if _, ok := m.Files[name]; !ok {
+		return "", fmt.Errorf("dataset: manifest has no %s", name)
+	}
+	return filepath.Join(dir, name), nil
+}
+
+// Has reports whether the manifest lists an artifact.
+func (m Manifest) Has(name string) bool {
+	_, ok := m.Files[name]
+	return ok
+}

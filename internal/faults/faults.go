@@ -1,0 +1,279 @@
+// Package faults builds fault-injection plans for the Delta simulation: for
+// each root cause (GSP storm, MMU episode, PMU SPI failure, NVLink link
+// fault, PCIe bus-off, uncorrectable memory fault) it lays out *episodes* —
+// clusters of related errors on one device — across a measurement period.
+//
+// Two features of the plan mirror the field data:
+//
+//   - Episode clustering. The paper's counts show far more errors than
+//     affected jobs (e.g. 3,857 GSP errors but only 31 jobs encountering
+//     XID 119), because an unhealthy device keeps logging while its node is
+//     being drained. Episodes have geometric sizes with configurable means.
+//
+//   - Quota sampling. Episode start times are uniform order statistics over
+//     the period — the conditional law of a Poisson process given its total
+//     count — so a plan reproduces published per-period counts exactly while
+//     keeping realistic spacing. A free-running rate mode (Poisson counts)
+//     is available for open-ended simulation.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gpuresilience/internal/randx"
+	"gpuresilience/internal/stats"
+)
+
+// Kind identifies a root-cause process.
+type Kind int
+
+// Root-cause kinds.
+const (
+	KindMMU Kind = iota + 1
+	KindGSP
+	KindPMU
+	KindNVLink
+	KindBusOff
+	KindUncorrectable
+	// KindSBE injects correctable single-bit errors. SBEs emit no XID (ECC
+	// fixes them silently — the paper notes their exact count is unknown
+	// for exactly this reason); a repeated hit on one row escalates to the
+	// uncorrectable cascade through the device model.
+	KindSBE
+)
+
+// String returns a short label.
+func (k Kind) String() string {
+	switch k {
+	case KindMMU:
+		return "mmu"
+	case KindGSP:
+		return "gsp"
+	case KindPMU:
+		return "pmu"
+	case KindNVLink:
+		return "nvlink"
+	case KindBusOff:
+		return "bus-off"
+	case KindUncorrectable:
+		return "uncorrectable"
+	case KindSBE:
+		return "sbe"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ProcessSpec configures one root-cause process over one period.
+type ProcessSpec struct {
+	Kind Kind
+	// Episodes is the exact number of episodes to inject (quota mode).
+	Episodes int
+	// MeanSize is the mean episode size (errors per episode, geometric,
+	// minimum 1).
+	MeanSize float64
+	// MeanGap is the mean spacing between errors within an episode
+	// (exponential). It must exceed the pipeline's coalescing window for
+	// in-episode errors to be counted separately, which is what the field
+	// data shows (repeats spaced minutes apart survive coalescing; the
+	// sub-second duplicate log lines do not).
+	MeanGap time.Duration
+	// ChronicFrac is the fraction of episodes that land on the chronic
+	// node set instead of a uniformly random node.
+	ChronicFrac float64
+}
+
+func (p ProcessSpec) validate() error {
+	if p.Kind < KindMMU || p.Kind > KindSBE {
+		return fmt.Errorf("faults: invalid kind %d", int(p.Kind))
+	}
+	if p.Episodes < 0 {
+		return fmt.Errorf("faults: %v: negative episode count", p.Kind)
+	}
+	if p.MeanSize < 1 {
+		return fmt.Errorf("faults: %v: mean episode size %v < 1", p.Kind, p.MeanSize)
+	}
+	if p.MeanGap <= 0 {
+		return fmt.Errorf("faults: %v: non-positive mean gap", p.Kind)
+	}
+	if p.ChronicFrac < 0 || p.ChronicFrac > 1 {
+		return fmt.Errorf("faults: %v: chronic fraction out of [0,1]", p.Kind)
+	}
+	return nil
+}
+
+// Episode is one planned cluster of errors on one device.
+type Episode struct {
+	Kind Kind
+	// Node is the target node index; GPU the device index within the node.
+	// For NVLink episodes GPU is -1: the fabric picks the link endpoints.
+	Node int
+	GPU  int
+	// Times are the error instants, ascending, all within the period.
+	Times []time.Time
+}
+
+// Start returns the first error instant of the episode.
+func (e Episode) Start() time.Time { return e.Times[0] }
+
+// Plan is a full injection schedule, episodes sorted by start time.
+type Plan struct {
+	Episodes []Episode
+}
+
+// TotalErrors returns the number of individual error instants in the plan.
+func (p Plan) TotalErrors() int {
+	total := 0
+	for _, e := range p.Episodes {
+		total += len(e.Times)
+	}
+	return total
+}
+
+// ErrorsByKind returns per-kind error totals.
+func (p Plan) ErrorsByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range p.Episodes {
+		out[e.Kind] += len(e.Times)
+	}
+	return out
+}
+
+// Topology describes the target cluster shape.
+type Topology struct {
+	Nodes       int
+	GPUsPerNode int
+	// ChronicNodes is how many nodes form the chronic (error-prone) set.
+	ChronicNodes int
+}
+
+func (t Topology) validate() error {
+	if t.Nodes <= 0 || t.GPUsPerNode <= 0 {
+		return errors.New("faults: topology needs positive nodes and GPUs per node")
+	}
+	if t.ChronicNodes < 0 || t.ChronicNodes > t.Nodes {
+		return errors.New("faults: chronic node count out of range")
+	}
+	return nil
+}
+
+// Build lays out all specs over the period. The same seed always yields the
+// same plan.
+func Build(seed uint64, period stats.Period, topo Topology, specs []ProcessSpec) (Plan, error) {
+	if err := period.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if err := topo.validate(); err != nil {
+		return Plan{}, err
+	}
+	rootRNG := randx.Derive(seed, "faults/"+period.Name)
+
+	chronic := chronicSet(rootRNG.Derive("chronic"), topo)
+
+	var plan Plan
+	for _, spec := range specs {
+		if err := spec.validate(); err != nil {
+			return Plan{}, err
+		}
+		rng := rootRNG.Derive("spec/" + spec.Kind.String())
+		starts := rng.UniformOrderStats(spec.Episodes, period.Hours())
+		for _, h := range starts {
+			start := period.Start.Add(time.Duration(h * float64(time.Hour)))
+			ep := Episode{
+				Kind: spec.Kind,
+				Node: pickNode(rng, topo, chronic, spec.ChronicFrac),
+				GPU:  rng.Intn(topo.GPUsPerNode),
+			}
+			if spec.Kind == KindNVLink {
+				ep.GPU = -1
+			}
+			size := sampleSize(rng, spec.MeanSize)
+			ep.Times = make([]time.Time, 0, size)
+			at := start
+			for i := 0; i < size; i++ {
+				if i > 0 {
+					at = at.Add(time.Duration(rng.Exponential(1/spec.MeanGap.Seconds()) * float64(time.Second)))
+				}
+				if !period.Contains(at) {
+					break // episodes truncate at the period boundary
+				}
+				ep.Times = append(ep.Times, at)
+			}
+			if len(ep.Times) > 0 {
+				plan.Episodes = append(plan.Episodes, ep)
+			}
+		}
+	}
+	sort.Slice(plan.Episodes, func(i, k int) bool {
+		return plan.Episodes[i].Start().Before(plan.Episodes[k].Start())
+	})
+	return plan, nil
+}
+
+// sampleSize draws an episode size. Small episodes are geometric (bursty,
+// heavy-tailed); large storms concentrate around their mean (a storm's
+// length is set by how long the node stays broken, not by a memoryless
+// repeat process), so means >= 10 use a shifted Poisson.
+func sampleSize(rng *randx.Stream, mean float64) int {
+	if mean < 10 {
+		return rng.Geometric(mean)
+	}
+	return 1 + rng.Poisson(mean-1)
+}
+
+// chronicSet picks the chronic node indices.
+func chronicSet(rng *randx.Stream, topo Topology) []int {
+	perm := make([]int, topo.Nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	chronic := perm[:topo.ChronicNodes]
+	sort.Ints(chronic)
+	return chronic
+}
+
+func pickNode(rng *randx.Stream, topo Topology, chronic []int, chronicFrac float64) int {
+	if len(chronic) > 0 && rng.Bool(chronicFrac) {
+		return chronic[rng.Intn(len(chronic))]
+	}
+	return rng.Intn(topo.Nodes)
+}
+
+// RandomizeQuotas converts quota-mode specs into free-running rate mode: a
+// copy of specs with each episode quota replaced by a Poisson draw with the
+// quota as its mean. Quota mode reproduces published per-period counts
+// exactly; rate mode answers "what would another three years look like".
+func RandomizeQuotas(rng *randx.Stream, specs []ProcessSpec) []ProcessSpec {
+	out := make([]ProcessSpec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		out[i].Episodes = rng.Poisson(float64(out[i].Episodes))
+	}
+	return out
+}
+
+// PoissonEpisodes converts a rate (episodes per hour) into a sampled episode
+// count for the period — the free-running alternative to quota mode.
+func PoissonEpisodes(rng *randx.Stream, ratePerHour float64, period stats.Period) int {
+	if ratePerHour <= 0 {
+		return 0
+	}
+	return rng.Poisson(ratePerHour * period.Hours())
+}
+
+// BurstTimes lays out a persistent-failure burst: count error instants over
+// [start, start+dur), uniform order statistics. This reproduces the 17-day
+// uncontained-memory-error burst from the faulty pre-operational GPU
+// (38,900 coalesced errors, >1M raw log lines).
+func BurstTimes(rng *randx.Stream, start time.Time, dur time.Duration, count int) []time.Time {
+	offsets := rng.UniformOrderStats(count, dur.Hours())
+	out := make([]time.Time, len(offsets))
+	for i, h := range offsets {
+		out[i] = start.Add(time.Duration(h * float64(time.Hour)))
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gpuresilience/internal/randx"
+	"gpuresilience/internal/stats"
+)
+
+var period = stats.Period{
+	Name:  "op",
+	Start: time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC),
+	End:   time.Date(2025, 3, 14, 0, 0, 0, 0, time.UTC),
+}
+
+var topo = Topology{Nodes: 106, GPUsPerNode: 4, ChronicNodes: 8}
+
+func spec(k Kind, episodes int, meanSize float64) ProcessSpec {
+	return ProcessSpec{Kind: k, Episodes: episodes, MeanSize: meanSize,
+		MeanGap: 5 * time.Minute, ChronicFrac: 0.5}
+}
+
+func TestBuildQuotaEpisodeCount(t *testing.T) {
+	plan, err := Build(1, period, topo, []ProcessSpec{spec(KindMMU, 500, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean size 1 means every episode has exactly one error and none can be
+	// truncated, so the quota is exact.
+	if len(plan.Episodes) != 500 {
+		t.Fatalf("episodes = %d, want 500", len(plan.Episodes))
+	}
+	if plan.TotalErrors() != 500 {
+		t.Fatalf("errors = %d, want 500", plan.TotalErrors())
+	}
+}
+
+func TestBuildEpisodeSizes(t *testing.T) {
+	plan, err := Build(2, period, topo, []ProcessSpec{spec(KindGSP, 400, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(plan.TotalErrors()) / float64(len(plan.Episodes))
+	if math.Abs(mean-20) > 2.5 {
+		t.Fatalf("mean episode size = %.2f, want ~20", mean)
+	}
+	byKind := plan.ErrorsByKind()
+	if byKind[KindGSP] != plan.TotalErrors() {
+		t.Fatal("ErrorsByKind inconsistent")
+	}
+}
+
+func TestBuildTimesWithinPeriodAndSorted(t *testing.T) {
+	plan, err := Build(3, period, topo, []ProcessSpec{
+		spec(KindMMU, 300, 3), spec(KindNVLink, 100, 10), spec(KindBusOff, 10, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Time
+	for _, ep := range plan.Episodes {
+		if ep.Start().Before(last) {
+			t.Fatal("episodes not sorted by start")
+		}
+		last = ep.Start()
+		prev := time.Time{}
+		for _, at := range ep.Times {
+			if !period.Contains(at) {
+				t.Fatalf("error instant %v outside period", at)
+			}
+			if at.Before(prev) {
+				t.Fatal("in-episode times not ascending")
+			}
+			prev = at
+		}
+		if ep.Node < 0 || ep.Node >= topo.Nodes {
+			t.Fatalf("node %d out of range", ep.Node)
+		}
+		if ep.Kind == KindNVLink {
+			if ep.GPU != -1 {
+				t.Fatal("NVLink episode should leave GPU to the fabric")
+			}
+		} else if ep.GPU < 0 || ep.GPU >= topo.GPUsPerNode {
+			t.Fatalf("gpu %d out of range", ep.GPU)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	build := func() Plan {
+		p, err := Build(7, period, topo, []ProcessSpec{spec(KindPMU, 50, 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := build(), build()
+	if len(a.Episodes) != len(b.Episodes) {
+		t.Fatal("plans differ in length")
+	}
+	for i := range a.Episodes {
+		if !a.Episodes[i].Start().Equal(b.Episodes[i].Start()) ||
+			a.Episodes[i].Node != b.Episodes[i].Node {
+			t.Fatalf("episode %d differs between equal-seed builds", i)
+		}
+	}
+}
+
+func TestBuildSeedSensitivity(t *testing.T) {
+	a, err := Build(1, period, topo, []ProcessSpec{spec(KindMMU, 100, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(2, period, topo, []ProcessSpec{spec(KindMMU, 100, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Episodes {
+		if a.Episodes[i].Start().Equal(b.Episodes[i].Start()) {
+			same++
+		}
+	}
+	if same == len(a.Episodes) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestChronicSkew(t *testing.T) {
+	plan, err := Build(11, period, topo, []ProcessSpec{{
+		Kind: KindMMU, Episodes: 2000, MeanSize: 1, MeanGap: time.Minute, ChronicFrac: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make(map[int]bool)
+	for _, ep := range plan.Episodes {
+		nodes[ep.Node] = true
+	}
+	if len(nodes) > topo.ChronicNodes {
+		t.Fatalf("chronicFrac=1 hit %d nodes, want <= %d", len(nodes), topo.ChronicNodes)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []ProcessSpec{
+		{Kind: Kind(0), Episodes: 1, MeanSize: 1, MeanGap: time.Second},
+		{Kind: KindMMU, Episodes: -1, MeanSize: 1, MeanGap: time.Second},
+		{Kind: KindMMU, Episodes: 1, MeanSize: 0.5, MeanGap: time.Second},
+		{Kind: KindMMU, Episodes: 1, MeanSize: 1, MeanGap: 0},
+		{Kind: KindMMU, Episodes: 1, MeanSize: 1, MeanGap: time.Second, ChronicFrac: 2},
+	}
+	for i, sp := range cases {
+		if _, err := Build(1, period, topo, []ProcessSpec{sp}); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+	if _, err := Build(1, period, Topology{}, nil); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+	if _, err := Build(1, period, Topology{Nodes: 10, GPUsPerNode: 4, ChronicNodes: 11}, nil); err == nil {
+		t.Fatal("chronic > nodes accepted")
+	}
+	bad := stats.Period{Start: period.End, End: period.Start}
+	if _, err := Build(1, bad, topo, nil); err == nil {
+		t.Fatal("invalid period accepted")
+	}
+}
+
+func TestBurstTimes(t *testing.T) {
+	rng := randx.NewStream(5)
+	start := time.Date(2022, 5, 5, 0, 0, 0, 0, time.UTC)
+	dur := 17 * 24 * time.Hour
+	times := BurstTimes(rng, start, dur, 38900)
+	if len(times) != 38900 {
+		t.Fatalf("burst count = %d", len(times))
+	}
+	for i, at := range times {
+		if at.Before(start) || !at.Before(start.Add(dur)) {
+			t.Fatalf("burst time %d out of window: %v", i, at)
+		}
+		if i > 0 && at.Before(times[i-1]) {
+			t.Fatal("burst times not sorted")
+		}
+	}
+	// Mean spacing should be ~dur/count (37.8 s).
+	meanGap := dur.Seconds() / float64(len(times))
+	if math.Abs(meanGap-37.75) > 1 {
+		t.Fatalf("unexpected mean burst spacing %v", meanGap)
+	}
+}
+
+func TestPoissonEpisodes(t *testing.T) {
+	rng := randx.NewStream(6)
+	var sum float64
+	const rate = 0.01 // per hour -> mean 214.8 over the period
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += float64(PoissonEpisodes(rng, rate, period))
+	}
+	mean := sum / n
+	want := rate * period.Hours()
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("poisson episode mean = %.1f, want ~%.1f", mean, want)
+	}
+	if PoissonEpisodes(rng, 0, period) != 0 {
+		t.Fatal("zero rate should yield zero episodes")
+	}
+}
+
+// Property: every plan respects quota*meanSize bounds — total errors never
+// exceed episodes x (something reasonable) and never fall below episodes
+// (each episode has >= 1 error).
+func TestPlanBoundsProperty(t *testing.T) {
+	f := func(seed uint64, eps uint8, size uint8) bool {
+		episodes := int(eps%50) + 1
+		meanSize := 1 + float64(size%10)
+		plan, err := Build(seed, period, topo, []ProcessSpec{{
+			Kind: KindGSP, Episodes: episodes, MeanSize: meanSize,
+			MeanGap: time.Minute, ChronicFrac: 0.3,
+		}})
+		if err != nil {
+			return false
+		}
+		return len(plan.Episodes) <= episodes && plan.TotalErrors() >= len(plan.Episodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

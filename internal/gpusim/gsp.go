@@ -1,0 +1,60 @@
+package gpusim
+
+import "time"
+
+// GSP models the GPU System Processor — the on-board RISC-V coprocessor
+// (new in Ampere) that offloads driver tasks from the host CPU. The paper's
+// finding (iii): GSP is the most vulnerable GPU hardware component, with
+// limited error detection and recovery; a GSP failure hangs the device
+// until the node is rebooted.
+type GSP struct {
+	hung      bool
+	hungSince time.Time
+	timeouts  int
+	errors    int
+	resets    int
+}
+
+// Hung reports whether the GSP is unresponsive (RPCs will time out).
+func (g *GSP) Hung() bool { return g.hung }
+
+// HungSince returns when the current hang began (zero when healthy).
+func (g *GSP) HungSince() time.Time {
+	if !g.hung {
+		return time.Time{}
+	}
+	return g.hungSince
+}
+
+// RPCTimeout records an RPC timeout (XID 119). The first timeout of a storm
+// marks the processor hung; repeats while hung are the storm body.
+func (g *GSP) RPCTimeout(now time.Time) {
+	g.timeouts++
+	if !g.hung {
+		g.hung = true
+		g.hungSince = now
+	}
+}
+
+// Error records a non-timeout GSP error (XID 120) — also a hang symptom.
+func (g *GSP) Error(now time.Time) {
+	g.errors++
+	if !g.hung {
+		g.hung = true
+		g.hungSince = now
+	}
+}
+
+// Reset clears the hang (node reboot / GPU reset).
+func (g *GSP) Reset() {
+	if g.hung {
+		g.resets++
+	}
+	g.hung = false
+	g.hungSince = time.Time{}
+}
+
+// Counters returns lifetime totals: timeouts, errors, resets.
+func (g *GSP) Counters() (timeouts, errors, resets int) {
+	return g.timeouts, g.errors, g.resets
+}

@@ -1,0 +1,58 @@
+package gpusim
+
+// PMU models the Power Management Unit, which regulates the GPU's core and
+// memory clock frequency, voltage, and power based on temperature and power
+// caps. The paper's finding (iii)/(iv): failed SPI RPC communication with
+// the PMU leaves the driver unable to change clocks, and such errors
+// propagate to MMU errors.
+type PMU struct {
+	clocksLocked bool
+	readFails    int
+	writeFails   int
+	clockChanges int
+	deniedClocks int
+	resets       int
+}
+
+// ClocksLocked reports whether clock-frequency changes are currently
+// impossible (a pending SPI failure).
+func (p *PMU) ClocksLocked() bool { return p.clocksLocked }
+
+// SPIFailure records a failed SPI RPC (read: XID 122, write: XID 123) and
+// locks clock management until a reset.
+func (p *PMU) SPIFailure(read bool) {
+	if read {
+		p.readFails++
+	} else {
+		p.writeFails++
+	}
+	p.clocksLocked = true
+}
+
+// RequestClockChange models the driver asking for a new core/memory clock
+// (e.g. thermal throttling). It reports whether the change was applied; it
+// is denied while the SPI link is failed — the symptom the paper describes
+// ("inability to change the GPU core clock frequency and memory clock
+// frequency").
+func (p *PMU) RequestClockChange() bool {
+	if p.clocksLocked {
+		p.deniedClocks++
+		return false
+	}
+	p.clockChanges++
+	return true
+}
+
+// Reset restores SPI communication (GPU reset / node reboot).
+func (p *PMU) Reset() {
+	if p.clocksLocked {
+		p.resets++
+	}
+	p.clocksLocked = false
+}
+
+// Counters returns lifetime totals: read failures, write failures, applied
+// clock changes, denied clock changes, resets.
+func (p *PMU) Counters() (readFails, writeFails, applied, denied, resets int) {
+	return p.readFails, p.writeFails, p.clockChanges, p.deniedClocks, p.resets
+}

@@ -1,0 +1,256 @@
+package nodesim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/gpusim"
+	"gpuresilience/internal/randx"
+	"gpuresilience/internal/simclock"
+)
+
+var t0 = time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func newNode(t *testing.T, cfg Config) (*Node, *simclock.Engine) {
+	t.Helper()
+	eng := simclock.NewEngine(t0)
+	n, err := New("gpub001", 4, gpusim.DefaultConfig(), cfg, eng, randx.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, eng
+}
+
+func TestServiceCycleReturnsToUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthCheckFailProb = 0
+	n, eng := newNode(t, cfg)
+
+	var transitions []State
+	n.OnStateChange = func(_ *Node, _, to State) { transitions = append(transitions, to) }
+
+	if !n.BeginService("gsp storm") {
+		t.Fatal("BeginService returned false on an up node")
+	}
+	if n.Up() {
+		t.Fatal("node still up after BeginService")
+	}
+	eng.RunAll()
+
+	if !n.Up() {
+		t.Fatalf("node state = %v after service", n.State())
+	}
+	want := []State{StateDraining, StateRebooting, StateUp}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+	ledger := n.Ledger()
+	if len(ledger) != 1 {
+		t.Fatalf("ledger entries = %d", len(ledger))
+	}
+	d := ledger[0]
+	if !d.Start.Equal(t0) || !d.End.After(d.Start) || d.Reason != "gsp storm" || d.Swapped {
+		t.Fatalf("downtime = %+v", d)
+	}
+	if n.ServiceCount() != 1 {
+		t.Fatalf("service count = %d", n.ServiceCount())
+	}
+}
+
+func TestServiceCoalescesConcurrentRequests(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthCheckFailProb = 0
+	n, eng := newNode(t, cfg)
+	if !n.BeginService("first") {
+		t.Fatal("first request rejected")
+	}
+	if n.BeginService("second") {
+		t.Fatal("second request not coalesced")
+	}
+	eng.RunAll()
+	if len(n.Ledger()) != 1 {
+		t.Fatalf("ledger entries = %d, want 1", len(n.Ledger()))
+	}
+}
+
+func TestHealthCheckFailureLeadsToSwap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthCheckFailProb = 1
+	n, eng := newNode(t, cfg)
+	n.BeginService("bad gpu")
+	eng.RunAll()
+	if !n.Up() {
+		t.Fatalf("node state = %v", n.State())
+	}
+	ledger := n.Ledger()
+	if len(ledger) != 1 || !ledger[0].Swapped {
+		t.Fatalf("ledger = %+v", ledger)
+	}
+	if n.SwapCount() != 1 {
+		t.Fatalf("swaps = %d", n.SwapCount())
+	}
+	// Swap intervals must be longer than drain+reboot-only service.
+	if ledger[0].Duration() < cfg.SwapMedian/2 {
+		t.Fatalf("swap interval suspiciously short: %v", ledger[0].Duration())
+	}
+}
+
+func TestSwapReplacesWorstGPU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthCheckFailProb = 1
+	eng := simclock.NewEngine(t0)
+	gpuCfg := gpusim.DefaultConfig()
+	gpuCfg.Memory.SpareRows = 1
+	gpuCfg.Memory.AccessBeforeRemapProb = 0
+	n, err := New("gpub002", 4, gpuCfg, cfg, eng, randx.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust GPU 2's spares so it records a remap failure.
+	rng := randx.NewStream(3)
+	n.GPU(2).Uncorrectable(t0, rng)
+	n.GPU(2).Uncorrectable(t0, rng)
+	if n.GPU(2).Memory.RemapFailures() != 1 {
+		t.Fatalf("setup failed: remap failures = %d", n.GPU(2).Memory.RemapFailures())
+	}
+	n.BeginService("rrf")
+	eng.RunAll()
+	if n.GPU(2).Memory.RemapFailures() != 0 {
+		t.Fatal("worst GPU was not replaced")
+	}
+	if n.GPU(2).Memory.SpareRowsLeft() != 1 {
+		t.Fatalf("replacement GPU spares = %d", n.GPU(2).Memory.SpareRowsLeft())
+	}
+}
+
+func TestForceReplace(t *testing.T) {
+	cfg := DefaultConfig()
+	n, eng := newNode(t, cfg)
+	if !n.ForceReplace("faulty device") {
+		t.Fatal("ForceReplace rejected")
+	}
+	if n.ForceReplace("again") {
+		t.Fatal("ForceReplace on non-up node accepted")
+	}
+	eng.RunAll()
+	if !n.Up() || n.SwapCount() != 1 {
+		t.Fatalf("state=%v swaps=%d", n.State(), n.SwapCount())
+	}
+	if len(n.Ledger()) != 1 || !n.Ledger()[0].Swapped {
+		t.Fatalf("ledger = %+v", n.Ledger())
+	}
+}
+
+func TestBeginServiceUntilExtendsDrain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthCheckFailProb = 0
+	n, eng := newNode(t, cfg)
+	stormEnd := t0.Add(8 * time.Hour)
+	if !n.BeginServiceUntil("gsp storm", stormEnd) {
+		t.Fatal("BeginServiceUntil rejected on an up node")
+	}
+	if n.BeginServiceUntil("again", stormEnd) {
+		t.Fatal("second extended service not coalesced")
+	}
+	eng.RunAll()
+	if !n.Up() {
+		t.Fatalf("state = %v", n.State())
+	}
+	ledger := n.Ledger()
+	if len(ledger) != 1 {
+		t.Fatalf("ledger = %d entries", len(ledger))
+	}
+	// The interval spans at least the storm duration (drain held open).
+	if ledger[0].Duration() < 8*time.Hour {
+		t.Fatalf("extended service lasted only %v", ledger[0].Duration())
+	}
+	if ledger[0].Duration() > 12*time.Hour {
+		t.Fatalf("extended service unreasonably long: %v", ledger[0].Duration())
+	}
+}
+
+func TestBeginServiceUntilPastDeadlineActsNormal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthCheckFailProb = 0
+	n, eng := newNode(t, cfg)
+	// A deadline in the past: the sampled drain dominates.
+	if !n.BeginServiceUntil("quick", t0.Add(-time.Hour)) {
+		t.Fatal("rejected")
+	}
+	eng.RunAll()
+	if d := n.Ledger()[0].Duration(); d > 6*time.Hour {
+		t.Fatalf("service with past deadline took %v", d)
+	}
+}
+
+// TestMeanRepairTimeNearPaper verifies DefaultConfig yields a mean
+// unavailability interval near the paper's 0.88 h MTTR.
+func TestMeanRepairTimeNearPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	eng := simclock.NewEngine(t0)
+	n, err := New("gpub003", 4, gpusim.DefaultConfig(), cfg, eng, randx.NewStream(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const cycles = 3000
+	for i := 0; i < cycles; i++ {
+		n.BeginService("calibration")
+		eng.RunAll()
+	}
+	ledger := n.Ledger()
+	if len(ledger) != cycles {
+		t.Fatalf("ledger entries = %d", len(ledger))
+	}
+	for _, d := range ledger {
+		total += d.Duration()
+	}
+	mean := total.Hours() / cycles
+	if math.Abs(mean-0.88) > 0.12 {
+		t.Fatalf("mean repair time = %.3f h, want ~0.88 h", mean)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.DrainMedian = 0
+	if _, err := New("n", 4, gpusim.DefaultConfig(), bad, simclock.NewEngine(t0), randx.NewStream(1)); err == nil {
+		t.Fatal("zero drain median accepted")
+	}
+	bad = DefaultConfig()
+	bad.HealthCheckFailProb = 2
+	if _, err := New("n", 4, gpusim.DefaultConfig(), bad, simclock.NewEngine(t0), randx.NewStream(1)); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := New("n", 4, gpusim.DefaultConfig(), DefaultConfig(), nil, randx.NewStream(1)); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := New("n", 1, gpusim.DefaultConfig(), DefaultConfig(), simclock.NewEngine(t0), randx.NewStream(1)); err == nil {
+		t.Fatal("1-GPU node accepted (no fabric possible)")
+	}
+}
+
+func TestGPUAccessors(t *testing.T) {
+	n, _ := newNode(t, DefaultConfig())
+	if n.NumGPUs() != 4 || len(n.GPUs()) != 4 {
+		t.Fatal("GPU count wrong")
+	}
+	if n.GPU(-1) != nil || n.GPU(4) != nil {
+		t.Fatal("out-of-range GPU access not nil")
+	}
+	if n.GPU(0).Node() != "gpub001" {
+		t.Fatal("GPU node identity wrong")
+	}
+	if n.Fabric() == nil {
+		t.Fatal("fabric missing")
+	}
+	if n.Name() != "gpub001" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,232 @@
+// Package randx provides deterministic random-number streams and the
+// probability distributions used by the Delta fault and workload simulators.
+//
+// Every stochastic component of the simulation draws from its own named
+// Stream derived from a root seed, so adding or reordering components does
+// not perturb the draws of unrelated components and whole-cluster runs are
+// reproducible from a single seed.
+package randx
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Stream is a deterministic pseudo-random number generator. It implements a
+// SplitMix64 generator, which is statistically strong enough for simulation
+// workloads, allocation-free, and trivially seedable from a derived key.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream seeded directly with seed.
+func NewStream(seed uint64) *Stream {
+	// Avoid the all-zero fixed point by mixing the seed once.
+	s := &Stream{state: seed}
+	s.Uint64()
+	return s
+}
+
+// Derive returns a new stream whose seed is derived from the root seed and a
+// name. Streams derived with distinct names are statistically independent.
+func Derive(seed uint64, name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return NewStream(seed ^ h.Sum64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Derive returns a child stream keyed by name, seeded from this stream's
+// current state without consuming it observably for other derivations of
+// different names.
+func (s *Stream) Derive(name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return NewStream(s.state ^ h.Sum64())
+}
+
+// Uint64 returns the next 64 uniformly distributed bits (SplitMix64).
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("randx: Int63n with non-positive n")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exponential returns a draw from Exp(rate); mean is 1/rate.
+// It panics if rate <= 0.
+func (s *Stream) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("randx: Exponential with non-positive rate")
+	}
+	u := s.Float64()
+	// 1-u is in (0, 1], so Log never sees zero.
+	return -math.Log(1-u) / rate
+}
+
+// Normal returns a draw from N(mu, sigma^2) via Box-Muller.
+func (s *Stream) Normal(mu, sigma float64) float64 {
+	u1 := 1 - s.Float64() // (0, 1]
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mu + sigma*z
+}
+
+// LogNormal returns a draw whose logarithm is N(mu, sigma^2).
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// LogNormalMeanP50 returns a lognormal draw parameterized by its arithmetic
+// mean and median, which is how repair-time distributions are usually
+// reported. It panics unless mean > median > 0.
+func (s *Stream) LogNormalMeanP50(mean, median float64) float64 {
+	if median <= 0 || mean <= median {
+		panic("randx: LogNormalMeanP50 requires mean > median > 0")
+	}
+	mu := math.Log(median)
+	sigma := math.Sqrt(2 * (math.Log(mean) - mu))
+	return s.LogNormal(mu, sigma)
+}
+
+// Weibull returns a draw from Weibull(shape k, scale lambda).
+func (s *Stream) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("randx: Weibull with non-positive parameter")
+	}
+	u := 1 - s.Float64() // (0, 1]
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// Pareto returns a draw from a Pareto distribution with minimum xm and tail
+// index alpha. Heavy-tailed; used for job-duration tails.
+func (s *Stream) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("randx: Pareto with non-positive parameter")
+	}
+	u := 1 - s.Float64() // (0, 1]
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a draw from Poisson(lambda). For large lambda it uses the
+// normal approximation, which is adequate for event-count sampling.
+func (s *Stream) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(s.Normal(lambda, math.Sqrt(lambda))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	// Knuth's algorithm.
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Geometric returns a draw from a geometric distribution on {1, 2, ...} with
+// mean 1/p. Used for episode sizes (number of repeated errors per episode).
+func (s *Stream) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := 1 - s.Float64() // (0, 1]
+	k := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Categorical returns an index drawn with probability proportional to
+// weights[i]. It panics if weights is empty or sums to a non-positive value.
+func (s *Stream) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("randx: Categorical with no positive weights")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// UniformOrderStats returns n sorted draws uniform on [0, span). This is the
+// conditional distribution of Poisson-process arrival times given that
+// exactly n events occurred in the window, which is how quota-mode fault
+// injection produces exact published counts with realistic spacing.
+func (s *Stream) UniformOrderStats(n int, span float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Float64() * span
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Shuffle permutes xs in place (Fisher-Yates).
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

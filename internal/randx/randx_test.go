@@ -1,0 +1,241 @@
+package randx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(42, "gsp")
+	b := Derive(42, "pmu")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams with distinct names collided %d times", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	a := Derive(7, "nvlink")
+	b := Derive(7, "nvlink")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Derive is not stable for equal (seed, name)")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(1)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewStream(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewStream(3)
+	const rate = 0.25
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.05*(1/rate) {
+		t.Fatalf("Exponential mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := NewStream(4)
+	for _, lambda := range []float64{0.5, 3, 20, 100} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.08*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := NewStream(5)
+	for _, mean := range []float64{1.0, 2.5, 10, 120} {
+		var sum float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			k := s.Geometric(mean)
+			if k < 1 {
+				t.Fatalf("Geometric returned %d < 1", k)
+			}
+			sum += float64(k)
+		}
+		got := sum / n
+		want := mean
+		if want < 1 {
+			want = 1
+		}
+		if math.Abs(got-want) > 0.06*want+0.05 {
+			t.Fatalf("Geometric(mean=%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestLogNormalMeanP50(t *testing.T) {
+	s := NewStream(6)
+	const mean, median = 0.88, 0.45
+	var sum float64
+	xs := make([]float64, 0, 200000)
+	for i := 0; i < 200000; i++ {
+		v := s.LogNormalMeanP50(mean, median)
+		sum += v
+		xs = append(xs, v)
+	}
+	got := sum / float64(len(xs))
+	if math.Abs(got-mean) > 0.08*mean {
+		t.Fatalf("LogNormalMeanP50 mean = %v, want ~%v", got, mean)
+	}
+	sort.Float64s(xs)
+	p50 := xs[len(xs)/2]
+	if math.Abs(p50-median) > 0.06*median {
+		t.Fatalf("LogNormalMeanP50 median = %v, want ~%v", p50, median)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	s := NewStream(7)
+	const scale = 4.0
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Weibull(1, scale)
+	}
+	mean := sum / n
+	if math.Abs(mean-scale) > 0.05*scale {
+		t.Fatalf("Weibull(1, %v) mean = %v", scale, mean)
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	s := NewStream(8)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("category ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestUniformOrderStatsSortedAndBounded(t *testing.T) {
+	s := NewStream(9)
+	xs := s.UniformOrderStats(1000, 500)
+	if len(xs) != 1000 {
+		t.Fatalf("got %d samples", len(xs))
+	}
+	for i, x := range xs {
+		if x < 0 || x >= 500 {
+			t.Fatalf("sample %d out of range: %v", i, x)
+		}
+		if i > 0 && xs[i-1] > x {
+			t.Fatalf("samples not sorted at %d", i)
+		}
+	}
+	if s.UniformOrderStats(0, 10) != nil {
+		t.Fatal("UniformOrderStats(0) should be nil")
+	}
+}
+
+func TestUniformOrderStatsPropertySorted(t *testing.T) {
+	s := NewStream(10)
+	f := func(n uint8, span uint16) bool {
+		xs := s.UniformOrderStats(int(n%64), float64(span)+1)
+		return sort.Float64sAreSorted(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	s := NewStream(11)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestShufflePermutes(t *testing.T) {
+	s := NewStream(12)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 45 {
+		t.Fatalf("shuffle lost elements, sum=%d", sum)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := NewStream(13)
+	for i := 0; i < 10000; i++ {
+		if v := s.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestChildDeriveStable(t *testing.T) {
+	a := NewStream(99).Derive("x")
+	b := NewStream(99).Derive("x")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Stream.Derive is not stable")
+	}
+}

@@ -1,0 +1,129 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"gpuresilience/internal/core"
+)
+
+// WriteTableICSV emits Table I as CSV for downstream plotting.
+func WriteTableICSV(w io.Writer, res *core.Results) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"event", "category", "preop_count", "op_count",
+		"preop_system_mtbe_hours", "preop_pernode_mtbe_hours",
+		"op_system_mtbe_hours", "op_pernode_mtbe_hours",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64, count int) string {
+		if count == 0 {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+	for _, row := range res.TableI {
+		if err := cw.Write([]string{
+			string(row.Group),
+			row.Category.String(),
+			strconv.Itoa(row.PreOp.Count),
+			strconv.Itoa(row.Op.Count),
+			f(row.PreOp.MTBE.SystemWide, row.PreOp.Count),
+			f(row.PreOp.MTBE.PerNode, row.PreOp.Count),
+			f(row.Op.MTBE.SystemWide, row.Op.Count),
+			f(row.Op.MTBE.PerNode, row.Op.Count),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIICSV emits Table II as CSV.
+func WriteTableIICSV(w io.Writer, res *core.Results) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"xid", "error", "gpu_failed_jobs", "jobs_encountering", "failure_probability",
+	}); err != nil {
+		return err
+	}
+	for _, row := range res.TableII.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(int(row.Code)),
+			row.Code.Abbr(),
+			strconv.Itoa(row.GPUFailedJobs),
+			strconv.Itoa(row.JobsEncountering),
+			strconv.FormatFloat(row.FailureProb, 'f', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIIICSV emits Table III as CSV.
+func WriteTableIIICSV(w io.Writer, res *core.Results) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"gpu_bucket", "count", "pct", "mean_min", "p50_min", "p99_min",
+		"ml_gpu_hours_k", "nonml_gpu_hours_k",
+	}); err != nil {
+		return err
+	}
+	for _, row := range res.TableIII {
+		if err := cw.Write([]string{
+			row.Bucket,
+			strconv.Itoa(row.Count),
+			strconv.FormatFloat(row.Pct, 'f', 4, 64),
+			strconv.FormatFloat(row.MeanMin, 'f', 2, 64),
+			strconv.FormatFloat(row.P50Min, 'f', 2, 64),
+			strconv.FormatFloat(row.P99Min, 'f', 2, 64),
+			strconv.FormatFloat(row.MLGPUHoursK, 'f', 1, 64),
+			strconv.FormatFloat(row.NonMLGPUHoursK, 'f', 1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure2CSV emits the Figure 2 histogram as CSV (bucket bounds in
+// hours, count, cumulative fraction).
+func WriteFigure2CSV(w io.Writer, res *core.Results) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"lo_hours", "hi_hours", "count", "cdf"}); err != nil {
+		return err
+	}
+	h := res.Avail.Histogram
+	cdf := h.CDF()
+	for i, c := range h.Counts {
+		lo, hi := h.BucketBounds(i)
+		if err := cw.Write([]string{
+			strconv.FormatFloat(lo, 'f', 4, 64),
+			strconv.FormatFloat(hi, 'f', 4, 64),
+			strconv.Itoa(c),
+			strconv.FormatFloat(cdf[i], 'f', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	if h.Overflow > 0 {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(h.Max, 'f', 4, 64), "+inf",
+			strconv.Itoa(h.Overflow), "1.000000",
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestWriteTableICSV(t *testing.T) {
+	var buf bytes.Buffer
+	res := smallResults(t)
+	if err := WriteTableICSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // header + 11 Table I rows
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "event" || len(rows[0]) != 8 {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// MMU row has the synthetic 48 op errors; empty MTBE cells for zeros.
+	if rows[1][0] != "MMU Error" || rows[1][3] != "48" {
+		t.Fatalf("MMU row = %v", rows[1])
+	}
+	if rows[1][4] != "" { // pre-op count 0 -> empty MTBE cell
+		t.Fatalf("zero-count MTBE cell = %q", rows[1][4])
+	}
+	if _, err := strconv.ParseFloat(rows[1][6], 64); err != nil {
+		t.Fatalf("op MTBE cell unparsable: %v", err)
+	}
+}
+
+func TestWriteTableIIAndIIICSV(t *testing.T) {
+	res := smallResults(t)
+	var buf bytes.Buffer
+	if err := WriteTableIICSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 1 || rows[0][0] != "xid" {
+		t.Fatalf("Table II CSV = %v", rows)
+	}
+
+	buf.Reset()
+	if err := WriteTableIIICSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // header + 8 buckets
+		t.Fatalf("Table III rows = %d", len(rows))
+	}
+	if rows[8][0] != "256+" {
+		t.Fatalf("last bucket = %v", rows[8])
+	}
+}
+
+func TestWriteFigure2CSV(t *testing.T) {
+	res := smallResults(t)
+	var buf bytes.Buffer
+	if err := WriteFigure2CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 || rows[0][3] != "cdf" {
+		t.Fatalf("Figure 2 CSV header = %v", rows[0])
+	}
+	// CDF must be nondecreasing.
+	last := -1.0
+	for _, r := range rows[1:] {
+		v, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < last {
+			t.Fatalf("CDF decreasing at %v", r)
+		}
+		last = v
+	}
+}

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gpuresilience/internal/avail"
+	"gpuresilience/internal/checkpoint"
+	"gpuresilience/internal/correlation"
+	"gpuresilience/internal/impact"
+	"gpuresilience/internal/slurmsim"
+	"gpuresilience/internal/stats"
+	"gpuresilience/internal/survival"
+	"gpuresilience/internal/xid"
+)
+
+// ExtensionsInput carries the raw material the extension analyses need.
+type ExtensionsInput struct {
+	Events    []xid.Event // coalesced error stream
+	Jobs      []*slurmsim.Job
+	Period    stats.Period // analysis period (operational)
+	FleetSize int          // node count
+	// PerNodeMTBEHours feeds the Young/Daly computation.
+	PerNodeMTBEHours float64
+	// DownHoursByNode and Fleet, when set, add the per-node availability
+	// spread (worst nodes).
+	DownHoursByNode map[string]float64
+	Fleet           []string
+}
+
+// WriteExtensions renders the beyond-the-paper analyses: Weibull fits of
+// inter-error times, error burstiness, node concentration, the PMU->MMU lag
+// correlation, and the checkpointing what-if (§V-B's suggested mitigation).
+func WriteExtensions(w io.Writer, in ExtensionsInput) error {
+	if _, err := fmt.Fprintf(w, "=== Extensions: survival, burstiness, checkpoint what-if ===\n\n"); err != nil {
+		return err
+	}
+
+	// Weibull fit of per-device inter-error gaps.
+	gaps := survival.InterEventHours(in.Events, nil)
+	if len(gaps) >= 3 {
+		if wb, err := survival.FitWeibull(gaps); err == nil {
+			regime := "memoryless"
+			switch {
+			case wb.Shape < 0.95:
+				regime = "clustered / infant-mortality (repeats arrive in bursts)"
+			case wb.Shape > 1.05:
+				regime = "wear-out"
+			}
+			fmt.Fprintf(w, "Inter-error gap Weibull fit: shape %.2f, scale %.1f h (mean %.1f h) - %s\n",
+				wb.Shape, wb.Scale, wb.Mean(), regime)
+		}
+	}
+
+	// Burstiness of the system-wide error process.
+	if f, err := correlation.FanoFactor(in.Events, in.Period, time.Hour); err == nil {
+		fmt.Fprintf(w, "Hourly-count Fano factor: %.1f (Poisson = 1; >1 means bursty)\n", f)
+	}
+	if cv, err := correlation.InterArrivalCV(in.Events); err == nil {
+		fmt.Fprintf(w, "Inter-arrival CV: %.2f (exponential = 1)\n", cv)
+	}
+
+	// Node concentration.
+	if nc, err := correlation.ConcentrationByNode(in.Events, in.FleetSize); err == nil {
+		fmt.Fprintf(w, "Node concentration: worst node %s holds %.1f%% of errors; top-5 %.1f%%; Gini %.2f\n",
+			nc.WorstNode, 100*nc.Top1Share, 100*nc.Top5Share, nc.Gini)
+	}
+
+	// The PMU->MMU propagation signal (finding iv).
+	if frac, err := correlation.LagCorrelation(in.Events, xid.PMUSPIReadFail, xid.MMU, 20*time.Second); err == nil {
+		fmt.Fprintf(w, "PMU->MMU lag correlation (20 s, same device): %.0f%%\n", 100*frac)
+	}
+
+	// Lost compute by error type.
+	if len(in.Jobs) > 0 {
+		rows, total, err := impact.LostCompute(in.Jobs, in.Events, impact.DefaultConfig(in.Period))
+		if err == nil && len(rows) > 0 {
+			fmt.Fprintf(w, "\nGPU hours destroyed by GPU-failed jobs: %.0f total\n", total)
+			tw := newTableWriter(w, "XID", "Error", "Jobs", "Lost GPUh")
+			for _, r := range rows {
+				tw.row(fmt.Sprintf("%d", int(r.Code)), r.Code.Abbr(),
+					fmt.Sprintf("%d", r.Jobs), fmt.Sprintf("%.0f", r.LostGPUHours))
+			}
+			if err := tw.flush(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Per-node availability spread.
+	if len(in.Fleet) > 0 {
+		if rows, err := avail.PerNode(in.DownHoursByNode, in.Period, in.Fleet); err == nil {
+			n := 3
+			if len(rows) < n {
+				n = len(rows)
+			}
+			fmt.Fprintf(w, "\nWorst-node availability (fleet of %d):\n", len(in.Fleet))
+			for _, r := range rows[:n] {
+				fmt.Fprintf(w, "  %s: %.3f%% (%.0f h down)\n", r.Node, 100*r.Availability, r.DownHours)
+			}
+		}
+	}
+
+	// Checkpoint what-if over the job records.
+	if len(in.Jobs) > 0 && in.PerNodeMTBEHours > 0 {
+		mtbf := time.Duration(in.PerNodeMTBEHours * float64(time.Hour))
+		const ckptCost = time.Minute
+		yd, err := checkpoint.YoungDaly(ckptCost, mtbf)
+		if err == nil {
+			fmt.Fprintf(w, "\nCheckpoint what-if (cost %v, restart 5m, per-node MTBE %.0f h):\n",
+				ckptCost, in.PerNodeMTBEHours)
+			fmt.Fprintf(w, "Young/Daly optimal interval: %v\n", yd.Round(time.Minute))
+			intervals := []time.Duration{30 * time.Minute, time.Hour, yd.Round(time.Minute),
+				6 * time.Hour, 24 * time.Hour}
+			outs, err := checkpoint.Sweep(in.Jobs, intervals, ckptCost, 5*time.Minute)
+			if err != nil {
+				return err
+			}
+			tw := newTableWriter(w, "Interval", "Lost GPUh (no ckpt)", "Lost GPUh (ckpt)",
+				"Overhead GPUh", "Net saved GPUh")
+			for _, o := range outs {
+				tw.row(o.Policy.Interval.String(),
+					fmt.Sprintf("%.0f", o.LostGPUHoursNoCkpt),
+					fmt.Sprintf("%.0f", o.LostGPUHoursWithCkpt),
+					fmt.Sprintf("%.0f", o.OverheadGPUHours),
+					fmt.Sprintf("%.0f", o.NetSavedGPUHours))
+			}
+			if err := tw.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/xid"
+)
+
+// WriteFindings renders the paper's headline findings (i)-(vii) with the
+// measured values, in the order the abstract states them.
+func WriteFindings(w io.Writer, res *core.Results) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("Headline findings (paper's abstract order), measured from this dataset:\n\n"); err != nil {
+		return err
+	}
+
+	// (i) MTBE degradation.
+	if res.PreSummary.PerNodeMTBE > 0 && res.OpSummary.PerNodeMTBE > 0 {
+		change := 100 * (res.PreSummary.PerNodeMTBE - res.OpSummary.PerNodeMTBE) / res.PreSummary.PerNodeMTBE
+		if err := p("(i)   Per-node MTBE went from %.0f h (pre-op) to %.0f h (op), a %.0f%%\n"+
+			"      reduction (paper: 199 -> 154 h, 23%%).\n",
+			res.PreSummary.PerNodeMTBE, res.OpSummary.PerNodeMTBE, change); err != nil {
+			return err
+		}
+	}
+
+	// (ii) Memory vs hardware.
+	if res.OpSummary.HardwarePerNodeMTBE > 0 && res.OpSummary.MemoryPerNodeMTBE > 0 {
+		if err := p("(ii)  GPU memory is %.0fx more reliable than GPU hardware in the op\n"+
+			"      period (%.0f vs %.0f h per-node MTBE; paper: 160x).\n",
+			res.OpSummary.MemoryPerNodeMTBE/res.OpSummary.HardwarePerNodeMTBE,
+			res.OpSummary.MemoryPerNodeMTBE, res.OpSummary.HardwarePerNodeMTBE); err != nil {
+			return err
+		}
+	}
+
+	// (iii) GSP vulnerability.
+	if row, ok := res.Row(xid.GroupGSP); ok && row.Op.Count > 0 && row.PreOp.Count > 0 {
+		if err := p("(iii) GSP is the most error-prone hardware component after MMU noise\n"+
+			"      is masked: %d op errors, per-node MTBE %.0f h, %.1fx worse than\n"+
+			"      pre-op (paper: 5.6x). ",
+			row.Op.Count, row.Op.MTBE.PerNode,
+			row.PreOp.MTBE.PerNode/row.Op.MTBE.PerNode); err != nil {
+			return err
+		}
+		if gsp, ok := res.TableII.Row(xid.GSPRPCTimeout); ok && gsp.JobsEncountering > 0 {
+			if err := p("%.0f%% of jobs encountering a GSP error failed\n      (paper: 100%%).\n",
+				100*gsp.FailureProb); err != nil {
+				return err
+			}
+		} else if err := p("\n"); err != nil {
+			return err
+		}
+	}
+
+	// (iv) NVLink masking.
+	if nvl, ok := res.TableII.Row(xid.NVLink); ok && nvl.JobsEncountering > 0 {
+		if err := p("(iv)  NVLink errors killed only %.0f%% of the jobs that encountered\n"+
+			"      them; %.0f%% survived through CRC retransmission and idle links\n"+
+			"      (paper: 54%% / 46%%).\n",
+			100*nvl.FailureProb, 100*(1-nvl.FailureProb)); err != nil {
+			return err
+		}
+	}
+
+	// (v) Memory error management.
+	if rrf, ok := res.Row(xid.GroupRRF); ok {
+		unc, _ := res.Row(xid.GroupUncontained)
+		if err := p("(v)   Row remapping absorbed every op-period uncorrectable error\n"+
+			"      (%d RRFs in op; paper: 0); the pre-op uncontained burst produced\n"+
+			"      %d errors from one device before replacement (paper: 38,900).\n",
+			rrf.Op.Count, unc.PreOp.Count); err != nil {
+			return err
+		}
+	}
+
+	// (vi) Hardware errors dominate job failures.
+	if res.TableII.TotalGPUFailedJobs > 0 {
+		if err := p("(vi)  %d jobs were killed by GPU errors; only MMU and NVLink errors\n"+
+			"      show application-level masking (paper: 3,285 GPU-failed jobs).\n",
+			res.TableII.TotalGPUFailedJobs); err != nil {
+			return err
+		}
+	}
+
+	// (vii) Availability.
+	if res.Avail.Availability > 0 {
+		if err := p("(vii) GPU-node availability is %.2f%% — %s of downtime per node-day\n"+
+			"      (paper: 99.5%%, ~7 minutes).\n",
+			100*res.Avail.Availability, res.Avail.DowntimePerDay.Round(0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package simclock implements the discrete-event simulation engine that
+// drives the Delta cluster model. Events execute in strict timestamp order
+// with deterministic tie-breaking (priority, then scheduling sequence), so a
+// simulation is fully reproducible given the same inputs.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// simulation time.
+var ErrPastEvent = errors.New("simclock: event scheduled in the past")
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+	at    time.Time
+	pri   int
+	fn    func()
+}
+
+// Time returns the time the event is scheduled to fire.
+func (h *Handle) Time() time.Time { return h.at }
+
+// Engine is a single-threaded discrete-event executor. It is not safe for
+// concurrent use; the simulation model is deterministic and single-threaded
+// by design.
+type Engine struct {
+	now     time.Time
+	queue   eventHeap
+	nextSeq uint64
+	steps   uint64
+}
+
+// NewEngine returns an engine whose clock starts at start.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at time at with priority 0.
+func (e *Engine) Schedule(at time.Time, fn func()) (*Handle, error) {
+	return e.SchedulePri(at, 0, fn)
+}
+
+// SchedulePri enqueues fn to run at time at. Events with equal timestamps run
+// in ascending priority order; equal (time, priority) events run in
+// scheduling order. Scheduling at exactly the current time is allowed and the
+// event runs before the clock advances further.
+func (e *Engine) SchedulePri(at time.Time, pri int, fn func()) (*Handle, error) {
+	if at.Before(e.now) {
+		return nil, fmt.Errorf("%w: at=%s now=%s", ErrPastEvent, at, e.now)
+	}
+	if fn == nil {
+		return nil, errors.New("simclock: nil event function")
+	}
+	h := &Handle{seq: e.nextSeq, at: at, pri: pri, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, h)
+	return h, nil
+}
+
+// After enqueues fn to run d after the current time.
+func (e *Engine) After(d time.Duration, fn func()) (*Handle, error) {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(h *Handle) bool {
+	if h == nil || h.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, h.index)
+	h.index = -1
+	h.fn = nil
+	return true
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	h, ok := heap.Pop(&e.queue).(*Handle)
+	if !ok {
+		return false
+	}
+	h.index = -1
+	e.now = h.at
+	e.steps++
+	fn := h.fn
+	h.fn = nil
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is after
+// until. The clock is left at until (or at the last event time if that is
+// later than until, which cannot happen by construction).
+func (e *Engine) Run(until time.Time) {
+	for len(e.queue) > 0 && !e.queue[0].at.After(until) {
+		e.Step()
+	}
+	if e.now.Before(until) {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// eventHeap orders by (time, priority, sequence).
+type eventHeap []*Handle
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Handle)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

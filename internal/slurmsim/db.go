@@ -1,0 +1,144 @@
+package slurmsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// dbHeader is the column header of the sacct-style dump. The layout mirrors
+// `sacct --parsable2`: pipe-separated, one record per line.
+const dbHeader = "JobID|JobName|User|Partition|ReqGPUS|Submit|Start|End|State|ExitCode|Placement|ML"
+
+const dbTimeLayout = time.RFC3339
+
+// DumpDB writes job records as a sacct-style parsable2 table.
+func DumpDB(w io.Writer, jobs []*Job) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintln(bw, dbHeader); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		start := ""
+		if !j.Start.IsZero() {
+			start = j.Start.UTC().Format(dbTimeLayout)
+		}
+		end := ""
+		if !j.End.IsZero() {
+			end = j.End.UTC().Format(dbTimeLayout)
+		}
+		ml := "0"
+		if j.ML {
+			ml = "1"
+		}
+		_, err := fmt.Fprintf(bw, "%d|%s|%s|%s|%d|%s|%s|%s|%s|%d:0|%s|%s\n",
+			j.ID, sanitize(j.Name), sanitize(j.User), sanitize(j.Partition), j.GPUs,
+			j.Submit.UTC().Format(dbTimeLayout), start, end,
+			j.State, j.ExitCode, j.Place, ml)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// sanitize strips the field separator from free-text fields.
+func sanitize(s string) string {
+	if strings.ContainsAny(s, "|\n") {
+		s = strings.NewReplacer("|", "_", "\n", " ").Replace(s)
+	}
+	return s
+}
+
+// LoadDB parses a dump produced by DumpDB.
+func LoadDB(r io.Reader) ([]*Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var jobs []*Job
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo == 1 {
+			if line != dbHeader {
+				return nil, fmt.Errorf("slurmsim: unexpected DB header %q", line)
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		j, err := parseDBLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("slurmsim: line %d: %w", lineNo, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+func parseDBLine(line string) (*Job, error) {
+	fields := strings.Split(line, "|")
+	if len(fields) != 12 {
+		return nil, fmt.Errorf("want 12 fields, got %d", len(fields))
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("job id: %w", err)
+	}
+	gpus, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return nil, fmt.Errorf("gpus: %w", err)
+	}
+	submit, err := time.Parse(dbTimeLayout, fields[5])
+	if err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	var start, end time.Time
+	if fields[6] != "" {
+		if start, err = time.Parse(dbTimeLayout, fields[6]); err != nil {
+			return nil, fmt.Errorf("start: %w", err)
+		}
+	}
+	if fields[7] != "" {
+		if end, err = time.Parse(dbTimeLayout, fields[7]); err != nil {
+			return nil, fmt.Errorf("end: %w", err)
+		}
+	}
+	state, err := ParseJobState(fields[8])
+	if err != nil {
+		return nil, err
+	}
+	exitStr, _, ok := strings.Cut(fields[9], ":")
+	if !ok {
+		return nil, fmt.Errorf("exit code %q not in code:signal form", fields[9])
+	}
+	exit, err := strconv.Atoi(exitStr)
+	if err != nil {
+		return nil, fmt.Errorf("exit code: %w", err)
+	}
+	place, err := ParsePlacement(fields[10])
+	if err != nil {
+		return nil, err
+	}
+	return &Job{
+		ID:        id,
+		Name:      fields[1],
+		User:      fields[2],
+		Partition: fields[3],
+		GPUs:      gpus,
+		Submit:    submit,
+		Start:     start,
+		End:       end,
+		State:     state,
+		ExitCode:  exit,
+		Place:     place,
+		ML:        fields[11] == "1",
+	}, nil
+}

@@ -1,0 +1,209 @@
+// Package slurmsim simulates the Slurm workload manager at the fidelity the
+// study needs: job submission, GPU placement across nodes, preemption when a
+// node leaves service, terminal job states, and a sacct-style accounting
+// database that the analysis pipeline ingests (§III-A).
+package slurmsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// JobState is a Slurm terminal or live job state.
+type JobState int
+
+// Job states (a subset of Slurm's, matching what the study uses).
+const (
+	StatePending JobState = iota + 1
+	StateRunning
+	StateCompleted // exit 0
+	StateFailed    // non-zero exit (application failure)
+	StateNodeFail  // killed by node/GPU failure
+	StateCancelled // cancelled (e.g. while pending at shutdown)
+	StateTimeout   // hit its time limit
+)
+
+// String returns the sacct-style state label.
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "PENDING"
+	case StateRunning:
+		return "RUNNING"
+	case StateCompleted:
+		return "COMPLETED"
+	case StateFailed:
+		return "FAILED"
+	case StateNodeFail:
+		return "NODE_FAIL"
+	case StateCancelled:
+		return "CANCELLED"
+	case StateTimeout:
+		return "TIMEOUT"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// ParseJobState inverts String for DB loading.
+func ParseJobState(s string) (JobState, error) {
+	switch s {
+	case "PENDING":
+		return StatePending, nil
+	case "RUNNING":
+		return StateRunning, nil
+	case "COMPLETED":
+		return StateCompleted, nil
+	case "FAILED":
+		return StateFailed, nil
+	case "NODE_FAIL":
+		return StateNodeFail, nil
+	case "CANCELLED":
+		return StateCancelled, nil
+	case "TIMEOUT":
+		return StateTimeout, nil
+	default:
+		return 0, fmt.Errorf("slurmsim: unknown job state %q", s)
+	}
+}
+
+// Succeeded reports whether the state counts as a success in the study's
+// job-statistics analysis.
+func (s JobState) Succeeded() bool { return s == StateCompleted }
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case StateCompleted, StateFailed, StateNodeFail, StateCancelled, StateTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
+// Placement maps a node name to the GPU indices allocated on it.
+type Placement map[string][]int
+
+// Nodes returns the sorted node names of the placement.
+func (p Placement) Nodes() []string {
+	out := make([]string, 0, len(p))
+	for n := range p {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalGPUs returns the number of GPUs in the placement.
+func (p Placement) TotalGPUs() int {
+	total := 0
+	for _, idxs := range p {
+		total += len(idxs)
+	}
+	return total
+}
+
+// String encodes the placement as "node:i,j;node:k". Deterministic order.
+func (p Placement) String() string {
+	var b strings.Builder
+	for i, node := range p.Nodes() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(node)
+		b.WriteByte(':')
+		for j, idx := range p[node] {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", idx)
+		}
+	}
+	return b.String()
+}
+
+// ParsePlacement inverts Placement.String.
+func ParsePlacement(s string) (Placement, error) {
+	p := make(Placement)
+	if s == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		node, list, ok := strings.Cut(part, ":")
+		if !ok || node == "" {
+			return nil, fmt.Errorf("slurmsim: bad placement part %q", part)
+		}
+		var idxs []int
+		for _, f := range strings.Split(list, ",") {
+			var v int
+			if _, err := fmt.Sscanf(f, "%d", &v); err != nil {
+				return nil, fmt.Errorf("slurmsim: bad gpu index %q: %w", f, err)
+			}
+			idxs = append(idxs, v)
+		}
+		p[node] = idxs
+	}
+	return p, nil
+}
+
+// Job is one batch job. Fields through ExitCode mirror the Slurm accounting
+// database columns the study relies on (§III-A): submit/start/end times,
+// resources requested, scheduled nodes, exit status, and name.
+type Job struct {
+	ID        int
+	Name      string
+	User      string
+	Partition string
+	GPUs      int // GPUs requested
+	Submit    time.Time
+	Start     time.Time
+	End       time.Time
+	TimeLimit time.Duration
+	State     JobState
+	ExitCode  int
+	Place     Placement
+
+	// RunDuration is the natural runtime the job needs if undisturbed, and
+	// FailNaturally + NaturalExitCode carry the workload generator's verdict
+	// for jobs that end on their own (application bugs, OOM, etc. — the
+	// non-GPU failures that dominate the 25% baseline failure rate). These
+	// drive the simulation and are not part of the accounting record.
+	RunDuration     time.Duration
+	FailNaturally   bool
+	NaturalExitCode int
+
+	// ML marks jobs the workload generator labeled as machine-learning
+	// (the study approximates this from job names).
+	ML bool
+}
+
+// Elapsed returns wall-clock runtime for terminal jobs.
+func (j *Job) Elapsed() time.Duration {
+	if !j.State.Terminal() || j.Start.IsZero() {
+		return 0
+	}
+	return j.End.Sub(j.Start)
+}
+
+// GPUHours returns allocated GPU hours for terminal jobs.
+func (j *Job) GPUHours() float64 {
+	return j.Elapsed().Hours() * float64(j.GPUs)
+}
+
+// UsesGPU reports whether the job's placement includes the GPU.
+func (j *Job) UsesGPU(node string, gpu int) bool {
+	for _, idx := range j.Place[node] {
+		if idx == gpu {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesLink reports whether the job holds both endpoints of an intra-node
+// NVLink (so the link may carry its traffic).
+func (j *Job) UsesLink(node string, a, b int) bool {
+	return j.UsesGPU(node, a) && j.UsesGPU(node, b)
+}

@@ -1,0 +1,463 @@
+package slurmsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gpuresilience/internal/simclock"
+)
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// GPUsPerNode is the allocation granularity (4 on Delta's 4-way nodes;
+	// the six 8-way nodes are modeled as additional hosts with 8).
+	GPUsPerNode int
+	// ScanLimit bounds how many pending jobs one scheduling pass examines
+	// (backfill-style: jobs behind an unschedulable head may still start).
+	ScanLimit int
+	// MaxQueueWait cancels jobs that sit pending longer than this. Zero
+	// disables cancellation.
+	MaxQueueWait time.Duration
+	// ReserveAfter turns scheduling strictly FIFO behind a job that has
+	// waited this long: no later job may jump it, so freed capacity
+	// accumulates until the wide job fits (poor man's reservation). Zero
+	// disables reservations.
+	ReserveAfter time.Duration
+	// RequeueOnNodeFail resubmits a fresh copy of every job killed by a
+	// node failure (Slurm's --requeue behavior). The killed attempt keeps
+	// its NODE_FAIL record; the copy restarts from scratch. Off by default:
+	// the study counts each attempt as its own record.
+	RequeueOnNodeFail bool
+}
+
+// DefaultConfig returns scheduler settings matching Delta's A100 partition.
+func DefaultConfig() Config {
+	return Config{
+		GPUsPerNode:  4,
+		ScanLimit:    4000,
+		MaxQueueWait: 30 * 24 * time.Hour,
+		ReserveAfter: 6 * time.Hour,
+	}
+}
+
+type host struct {
+	name        string
+	numGPUs     int
+	free        []bool // free[i] == true when GPU i is unallocated
+	freeCount   int
+	schedulable bool // accepting new work (false while draining or down)
+	online      bool // false while rebooting/failed
+	running     map[int]*Job
+}
+
+// Scheduler places jobs on hosts and tracks their lifecycle.
+type Scheduler struct {
+	cfg    Config
+	engine *simclock.Engine
+
+	hosts     []*host
+	hostIndex map[string]*host
+
+	pending  []*Job
+	records  []*Job
+	nextID   int
+	capacity int // total GPUs across all hosts
+
+	passQueued bool
+
+	// OnTerminal, if set, is called once per job when it reaches a terminal
+	// state.
+	OnTerminal func(*Job)
+
+	endHandles map[int]*simclock.Handle
+}
+
+// NewScheduler returns a scheduler driven by engine.
+func NewScheduler(cfg Config, engine *simclock.Engine) (*Scheduler, error) {
+	if engine == nil {
+		return nil, errors.New("slurmsim: nil engine")
+	}
+	if cfg.GPUsPerNode <= 0 {
+		return nil, errors.New("slurmsim: GPUsPerNode must be positive")
+	}
+	if cfg.ScanLimit <= 0 {
+		cfg.ScanLimit = 4000
+	}
+	return &Scheduler{
+		cfg:        cfg,
+		engine:     engine,
+		hostIndex:  make(map[string]*host),
+		nextID:     1,
+		endHandles: make(map[int]*simclock.Handle),
+	}, nil
+}
+
+// AddHost registers a node with the given GPU count. Host order is the
+// placement scan order, so registration order is part of determinism.
+func (s *Scheduler) AddHost(name string, gpus int) error {
+	if _, dup := s.hostIndex[name]; dup {
+		return fmt.Errorf("slurmsim: duplicate host %q", name)
+	}
+	if gpus <= 0 {
+		return fmt.Errorf("slurmsim: host %q has no GPUs", name)
+	}
+	h := &host{
+		name:        name,
+		numGPUs:     gpus,
+		free:        make([]bool, gpus),
+		freeCount:   gpus,
+		schedulable: true,
+		online:      true,
+		running:     make(map[int]*Job),
+	}
+	for i := range h.free {
+		h.free[i] = true
+	}
+	s.hosts = append(s.hosts, h)
+	s.hostIndex[name] = h
+	s.capacity += gpus
+	return nil
+}
+
+// Submit enqueues a job at the current simulation time and assigns its ID.
+func (s *Scheduler) Submit(j *Job) error {
+	if j == nil {
+		return errors.New("slurmsim: nil job")
+	}
+	if j.GPUs <= 0 {
+		return fmt.Errorf("slurmsim: job %q requests %d GPUs", j.Name, j.GPUs)
+	}
+	j.ID = s.nextID
+	s.nextID++
+	j.Submit = s.engine.Now()
+	if j.GPUs > s.capacity {
+		// Slurm rejects requests exceeding partition capacity outright.
+		j.State = StateCancelled
+		j.End = j.Submit
+		s.finish(j)
+		return nil
+	}
+	j.State = StatePending
+	s.pending = append(s.pending, j)
+	s.queuePass()
+	return nil
+}
+
+// queuePass schedules one scheduling pass at the current timestamp (after
+// all same-time events, so a burst of frees is handled by one pass).
+func (s *Scheduler) queuePass() {
+	if s.passQueued {
+		return
+	}
+	s.passQueued = true
+	// Priority 100 sorts the pass after same-time submissions and frees.
+	if _, err := s.engine.SchedulePri(s.engine.Now(), 100, s.pass); err != nil {
+		s.passQueued = false
+	}
+}
+
+// pass scans the pending queue first-fit (bounded backfill) and starts every
+// job that can be placed now. It exits early once free capacity is exhausted
+// and switches to strict FIFO behind a long-waiting job (reservation).
+func (s *Scheduler) pass() {
+	s.passQueued = false
+	now := s.engine.Now()
+	totalFree := s.FreeGPUs()
+	kept := s.pending[:0]
+	scanned := 0
+	for qi, j := range s.pending {
+		if scanned >= s.cfg.ScanLimit || totalFree == 0 {
+			kept = append(kept, s.pending[qi:]...)
+			break
+		}
+		scanned++
+		if s.cfg.MaxQueueWait > 0 && now.Sub(j.Submit) > s.cfg.MaxQueueWait {
+			j.State = StateCancelled
+			j.End = now
+			j.ExitCode = 0
+			s.finish(j)
+			continue
+		}
+		if j.GPUs > totalFree {
+			kept = append(kept, j)
+			if s.cfg.ReserveAfter > 0 && now.Sub(j.Submit) > s.cfg.ReserveAfter {
+				// Reservation: hold remaining capacity for this job.
+				kept = append(kept, s.pending[qi+1:]...)
+				break
+			}
+			continue
+		}
+		place := s.tryPlace(j.GPUs)
+		if place == nil {
+			kept = append(kept, j)
+			continue
+		}
+		totalFree -= j.GPUs
+		s.start(j, place, now)
+	}
+	s.pending = kept
+}
+
+// tryPlace finds GPUs for a job, preferring the fullest-fitting hosts
+// (best-fit decreasing over free counts) so whole nodes stay available for
+// wide jobs. Returns nil when capacity is insufficient right now.
+func (s *Scheduler) tryPlace(gpus int) Placement {
+	totalFree := 0
+	for _, h := range s.hosts {
+		if h.schedulable && h.online {
+			totalFree += h.freeCount
+		}
+	}
+	if totalFree < gpus {
+		return nil
+	}
+	// Candidate hosts sorted by descending free count, then name for
+	// determinism.
+	cands := make([]*host, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		if h.schedulable && h.online && h.freeCount > 0 {
+			cands = append(cands, h)
+		}
+	}
+	sort.Slice(cands, func(i, k int) bool {
+		if cands[i].freeCount != cands[k].freeCount {
+			return cands[i].freeCount > cands[k].freeCount
+		}
+		return cands[i].name < cands[k].name
+	})
+	place := make(Placement)
+	need := gpus
+	for _, h := range cands {
+		if need == 0 {
+			break
+		}
+		take := h.freeCount
+		if take > need {
+			take = need
+		}
+		idxs := make([]int, 0, take)
+		for i := 0; i < h.numGPUs && len(idxs) < take; i++ {
+			if h.free[i] {
+				idxs = append(idxs, i)
+			}
+		}
+		place[h.name] = idxs
+		need -= take
+	}
+	if need > 0 {
+		return nil
+	}
+	return place
+}
+
+// start allocates the placement and schedules the job's natural end.
+func (s *Scheduler) start(j *Job, place Placement, now time.Time) {
+	for node, idxs := range place {
+		h := s.hostIndex[node]
+		for _, i := range idxs {
+			h.free[i] = false
+			h.running[i] = j
+		}
+		h.freeCount -= len(idxs)
+	}
+	j.Place = place
+	j.Start = now
+	j.State = StateRunning
+
+	run := j.RunDuration
+	timeout := false
+	if j.TimeLimit > 0 && run > j.TimeLimit {
+		run = j.TimeLimit
+		timeout = true
+	}
+	h, err := s.engine.After(run, func() { s.naturalEnd(j, timeout) })
+	if err == nil {
+		s.endHandles[j.ID] = h
+	}
+}
+
+func (s *Scheduler) naturalEnd(j *Job, timeout bool) {
+	delete(s.endHandles, j.ID)
+	switch {
+	case timeout:
+		j.State = StateTimeout
+		j.ExitCode = 0
+	case j.FailNaturally:
+		j.State = StateFailed
+		j.ExitCode = j.NaturalExitCode
+		if j.ExitCode == 0 {
+			j.ExitCode = 1
+		}
+	default:
+		j.State = StateCompleted
+		j.ExitCode = 0
+	}
+	j.End = s.engine.Now()
+	s.release(j)
+	s.finish(j)
+	s.queuePass()
+}
+
+// release frees the job's GPUs on hosts that are still online.
+func (s *Scheduler) release(j *Job) {
+	for node, idxs := range j.Place {
+		h := s.hostIndex[node]
+		if h == nil {
+			continue
+		}
+		for _, i := range idxs {
+			if h.running[i] == j {
+				delete(h.running, i)
+				if !h.free[i] {
+					h.free[i] = true
+					h.freeCount++
+				}
+			}
+		}
+	}
+}
+
+func (s *Scheduler) finish(j *Job) {
+	s.records = append(s.records, j)
+	if s.OnTerminal != nil {
+		s.OnTerminal(j)
+	}
+}
+
+// Kill terminates a running job with the given state and exit code at the
+// current simulation time (used for GPU-error and node-failure kills).
+// It is a no-op on non-running jobs.
+func (s *Scheduler) Kill(j *Job, state JobState, exitCode int) {
+	if j == nil || j.State != StateRunning {
+		return
+	}
+	if h, ok := s.endHandles[j.ID]; ok {
+		s.engine.Cancel(h)
+		delete(s.endHandles, j.ID)
+	}
+	j.State = state
+	j.ExitCode = exitCode
+	j.End = s.engine.Now()
+	s.release(j)
+	s.finish(j)
+	if state == StateNodeFail && s.cfg.RequeueOnNodeFail {
+		clone := &Job{
+			Name:            j.Name,
+			User:            j.User,
+			Partition:       j.Partition,
+			GPUs:            j.GPUs,
+			TimeLimit:       j.TimeLimit,
+			RunDuration:     j.RunDuration,
+			FailNaturally:   j.FailNaturally,
+			NaturalExitCode: j.NaturalExitCode,
+			ML:              j.ML,
+		}
+		// Submit assigns a fresh ID and submit time; requeued work starts
+		// from scratch (no checkpoint).
+		_ = s.Submit(clone)
+	}
+	s.queuePass()
+}
+
+// JobsOnNode returns the distinct jobs currently running on the node.
+func (s *Scheduler) JobsOnNode(node string) []*Job {
+	h := s.hostIndex[node]
+	if h == nil {
+		return nil
+	}
+	seen := make(map[int]*Job, len(h.running))
+	for _, j := range h.running {
+		seen[j.ID] = j
+	}
+	out := make([]*Job, 0, len(seen))
+	for _, j := range seen {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// JobOnGPU returns the job running on (node, gpu), or nil.
+func (s *Scheduler) JobOnGPU(node string, gpu int) *Job {
+	h := s.hostIndex[node]
+	if h == nil {
+		return nil
+	}
+	return h.running[gpu]
+}
+
+// SetSchedulable marks a node as (not) accepting new jobs; running jobs are
+// unaffected. Used at drain start/end.
+func (s *Scheduler) SetSchedulable(node string, ok bool) {
+	if h := s.hostIndex[node]; h != nil {
+		h.schedulable = ok
+		if ok {
+			s.queuePass()
+		}
+	}
+}
+
+// FailNode takes a node offline (reboot/hardware failure): every running job
+// on it is killed with NODE_FAIL and the node stops hosting work.
+func (s *Scheduler) FailNode(node string) {
+	h := s.hostIndex[node]
+	if h == nil {
+		return
+	}
+	h.online = false
+	h.schedulable = false
+	for _, j := range s.JobsOnNode(node) {
+		s.Kill(j, StateNodeFail, 1)
+	}
+}
+
+// RestoreNode brings a node back online with all GPUs free.
+func (s *Scheduler) RestoreNode(node string) {
+	h := s.hostIndex[node]
+	if h == nil {
+		return
+	}
+	h.online = true
+	h.schedulable = true
+	for i := range h.free {
+		if h.running[i] == nil && !h.free[i] {
+			h.free[i] = true
+			h.freeCount++
+		}
+	}
+	s.queuePass()
+}
+
+// PendingCount returns the pending-queue length.
+func (s *Scheduler) PendingCount() int { return len(s.pending) }
+
+// RunningCount returns the number of distinct running jobs.
+func (s *Scheduler) RunningCount() int { return len(s.endHandles) }
+
+// Records returns the terminal job records accumulated so far. The returned
+// slice is shared; callers must not mutate it.
+func (s *Scheduler) Records() []*Job { return s.records }
+
+// FreeGPUs returns the number of free GPUs on schedulable online hosts.
+func (s *Scheduler) FreeGPUs() int {
+	total := 0
+	for _, h := range s.hosts {
+		if h.schedulable && h.online {
+			total += h.freeCount
+		}
+	}
+	return total
+}
+
+// DrainPending cancels every still-pending job (end of measurement period).
+func (s *Scheduler) DrainPending() {
+	now := s.engine.Now()
+	for _, j := range s.pending {
+		j.State = StateCancelled
+		j.End = now
+		s.finish(j)
+	}
+	s.pending = nil
+}

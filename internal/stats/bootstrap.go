@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+
+	"gpuresilience/internal/randx"
+)
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+	// Level is the confidence level, e.g. 0.95.
+	Level float64
+}
+
+// Contains reports whether v falls inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// BootstrapMeanCI computes a percentile-bootstrap confidence interval for
+// the mean of xs. The study's headline figures (MTBE from inter-error gaps,
+// MTTR from repair intervals) are means of skewed samples, where the
+// bootstrap is the standard tool.
+func BootstrapMeanCI(xs []float64, level float64, iters int, rng *randx.Stream) (CI, error) {
+	if len(xs) < 2 {
+		return CI{}, errors.New("stats: need at least 2 samples for a CI")
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, errors.New("stats: confidence level out of (0,1)")
+	}
+	if iters < 100 {
+		return CI{}, errors.New("stats: need at least 100 bootstrap iterations")
+	}
+	if rng == nil {
+		return CI{}, errors.New("stats: nil rng")
+	}
+	means := make([]float64, iters)
+	n := len(xs)
+	for i := 0; i < iters; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[i] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return CI{
+		Lo:    Percentile(means, 100*alpha),
+		Hi:    Percentile(means, 100*(1-alpha)),
+		Level: level,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"testing"
+
+	"gpuresilience/internal/randx"
+)
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	// Exponential samples with true mean 10: a 95% CI from a large sample
+	// should cover 10 and be reasonably tight.
+	rng := randx.NewStream(1)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.Exponential(0.1)
+	}
+	ci, err := BootstrapMeanCI(xs, 0.95, 1000, randx.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(10) {
+		t.Fatalf("CI [%v, %v] misses the true mean 10", ci.Lo, ci.Hi)
+	}
+	if ci.Hi-ci.Lo > 2 {
+		t.Fatalf("CI too wide: [%v, %v]", ci.Lo, ci.Hi)
+	}
+	if ci.Lo >= ci.Hi || ci.Level != 0.95 {
+		t.Fatalf("CI malformed: %+v", ci)
+	}
+}
+
+func TestBootstrapMeanCICoverageRate(t *testing.T) {
+	// Across many replications, the 90% CI should cover the truth roughly
+	// 90% of the time (allow a generous band for the small sample size).
+	rng := randx.NewStream(3)
+	covered := 0
+	const reps = 200
+	for r := 0; r < reps; r++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = rng.Exponential(0.5) // mean 2
+		}
+		ci, err := BootstrapMeanCI(xs, 0.90, 400, rng.Derive("b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Contains(2) {
+			covered++
+		}
+	}
+	rate := float64(covered) / reps
+	if rate < 0.80 || rate > 0.98 {
+		t.Fatalf("coverage rate = %.2f, want ~0.90", rate)
+	}
+}
+
+func TestBootstrapMeanCIValidation(t *testing.T) {
+	rng := randx.NewStream(4)
+	if _, err := BootstrapMeanCI([]float64{1}, 0.95, 1000, rng); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1, 2}, 1.5, 1000, rng); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1, 2}, 0.95, 10, rng); err == nil {
+		t.Fatal("too few iterations accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1, 2}, 0.95, 1000, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}

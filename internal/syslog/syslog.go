@@ -1,0 +1,249 @@
+// Package syslog emits and parses the NVRM Xid kernel log lines that are the
+// raw input of the study's pipeline (Fig. 1, Stage I).
+//
+// Emission is deliberately messy in the way the field data is messy: one
+// logical error produces several near-duplicate log lines milliseconds apart
+// (the reason Stage II error coalescing exists), and error lines are
+// interleaved with unrelated kernel noise that the regex filter must skip.
+//
+// Parsing is the pipeline's Stage I: regex extraction of (timestamp, node,
+// PCI address -> GPU index, XID code) records from consolidated logs.
+package syslog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpuresilience/internal/randx"
+	"gpuresilience/internal/xid"
+)
+
+// pciBases maps GPU index to the device part of its PCI bus address,
+// matching the 4-way (and 8-way) A100 board layout.
+var pciBases = []int{0x07, 0x27, 0x47, 0x67, 0x87, 0xA7, 0xC7, 0xE7}
+
+// PCIAddr returns the PCI bus address string of GPU index i.
+func PCIAddr(i int) string {
+	if i >= 0 && i < len(pciBases) {
+		return fmt.Sprintf("0000:%02X:00", pciBases[i])
+	}
+	// Synthetic fallback for out-of-range indices.
+	return fmt.Sprintf("0001:%02X:00", i&0xff)
+}
+
+// GPUIndex inverts PCIAddr. The boolean is false for unknown addresses.
+func GPUIndex(addr string) (int, bool) {
+	for i := range pciBases {
+		if PCIAddr(i) == addr {
+			return i, true
+		}
+	}
+	var bus int
+	if _, err := fmt.Sscanf(addr, "0001:%02X:00", &bus); err == nil {
+		return bus, true
+	}
+	return 0, false
+}
+
+// timeLayout is the consolidated-log timestamp format (microsecond UTC).
+const timeLayout = "2006-01-02T15:04:05.000000Z"
+
+// FormatLine renders one raw Xid log line. pid and procName are cosmetic —
+// the extractor ignores them, like the study's regex does.
+func FormatLine(ev xid.Event, pid int, procName string) string {
+	detail := strings.NewReplacer("\n", " ").Replace(ev.Detail)
+	return fmt.Sprintf("%s %s kernel: NVRM: Xid (PCI:%s): %d, pid=%d, name=%s, %s",
+		ev.Time.UTC().Format(timeLayout), ev.Node, PCIAddr(ev.GPU), int(ev.Code),
+		pid, procName, detail)
+}
+
+// FormatNoise renders an unrelated kernel log line that the extractor must
+// skip.
+func FormatNoise(t time.Time, node string, i int) string {
+	msgs := []string{
+		"kernel: EXT4-fs (nvme0n1p2): mounted filesystem with ordered data mode",
+		"kernel: perf: interrupt took too long, lowering kernel.perf_event_max_sample_rate",
+		"kernel: slurmstepd[4121]: task exited normally",
+		"kernel: nvidia-persistenced: persistence mode enabled",
+		"kernel: mlx5_core 0000:a1:00.0: Port module event: module 0, Cable plugged",
+	}
+	return fmt.Sprintf("%s %s %s", t.UTC().Format(timeLayout), node, msgs[i%len(msgs)])
+}
+
+// WriterConfig controls raw-line emission.
+type WriterConfig struct {
+	// DupMean is the mean number of log lines one error produces for a
+	// given code (>= 1). Codes not present use DefaultDupMean.
+	DupMean map[xid.Code]float64
+	// DefaultDupMean applies to codes absent from DupMean.
+	DefaultDupMean float64
+	// DupSpacing is the mean spacing between duplicate lines (well inside
+	// the coalescing window).
+	DupSpacing time.Duration
+	// NoiseProb injects one unrelated kernel line before an error line with
+	// this probability.
+	NoiseProb float64
+}
+
+// DefaultWriterConfig matches the field data: a few duplicates for most
+// codes, a much higher factor for the persistent uncontained bursts (38,900
+// coalesced errors -> >1M raw lines, a factor of ~26).
+func DefaultWriterConfig() WriterConfig {
+	return WriterConfig{
+		DupMean: map[xid.Code]float64{
+			xid.UncontainedMem: 26,
+			xid.MMU:            4,
+			xid.GSPRPCTimeout:  3,
+			xid.GSPError:       3,
+		},
+		DefaultDupMean: 2,
+		DupSpacing:     40 * time.Millisecond,
+		NoiseProb:      0.15,
+	}
+}
+
+// Writer streams raw log lines for a sequence of events.
+type Writer struct {
+	bw    *bufio.Writer
+	cfg   WriterConfig
+	rng   *randx.Stream
+	lines int
+	noise int
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer, cfg WriterConfig, seed uint64) (*Writer, error) {
+	if cfg.DefaultDupMean < 1 {
+		return nil, fmt.Errorf("syslog: default dup mean %v < 1", cfg.DefaultDupMean)
+	}
+	for c, m := range cfg.DupMean {
+		if m < 1 {
+			return nil, fmt.Errorf("syslog: dup mean %v < 1 for %v", m, c)
+		}
+	}
+	if cfg.DupSpacing <= 0 {
+		return nil, fmt.Errorf("syslog: non-positive dup spacing")
+	}
+	if cfg.NoiseProb < 0 || cfg.NoiseProb > 1 {
+		return nil, fmt.Errorf("syslog: noise probability out of [0,1]")
+	}
+	return &Writer{
+		bw:  bufio.NewWriterSize(w, 1<<20),
+		cfg: cfg,
+		rng: randx.Derive(seed, "syslog"),
+	}, nil
+}
+
+// WriteEvent emits the raw line(s) for one error event and returns how many
+// lines it wrote.
+func (w *Writer) WriteEvent(ev xid.Event) (int, error) {
+	wrote := 0
+	if w.rng.Bool(w.cfg.NoiseProb) {
+		if _, err := w.bw.WriteString(FormatNoise(ev.Time, ev.Node, w.noise)); err != nil {
+			return wrote, err
+		}
+		if err := w.bw.WriteByte('\n'); err != nil {
+			return wrote, err
+		}
+		w.noise++
+		w.lines++
+	}
+	mean, ok := w.cfg.DupMean[ev.Code]
+	if !ok {
+		mean = w.cfg.DefaultDupMean
+	}
+	dups := w.rng.Geometric(mean)
+	pid := 1000 + w.rng.Intn(60000)
+	proc := "python"
+	at := ev.Time
+	for i := 0; i < dups; i++ {
+		line := ev
+		line.Time = at
+		if _, err := w.bw.WriteString(FormatLine(line, pid, proc)); err != nil {
+			return wrote, err
+		}
+		if err := w.bw.WriteByte('\n'); err != nil {
+			return wrote, err
+		}
+		wrote++
+		w.lines++
+		at = at.Add(time.Duration(w.rng.Exponential(1/w.cfg.DupSpacing.Seconds()) * float64(time.Second)))
+	}
+	return wrote, nil
+}
+
+// Lines returns the total number of lines written (noise included).
+func (w *Writer) Lines() int { return w.lines }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// xidLineRE is the Stage I extraction pattern.
+var xidLineRE = regexp.MustCompile(
+	`^(\S+) (\S+) kernel: NVRM: Xid \(PCI:([0-9A-Fa-f:]+)\): (\d+), pid=\d+, name=\S*, (.*)$`)
+
+// ExtractStats reports what the extractor saw.
+type ExtractStats struct {
+	Lines     int // total lines scanned
+	XIDLines  int // lines matching the Xid pattern
+	Malformed int // Xid-looking lines that failed field parsing
+	Skipped   int // non-Xid lines (noise)
+}
+
+// Extract streams raw log lines from r, parses the Xid records, and calls fn
+// for each. It is the pipeline's Stage I.
+func Extract(r io.Reader, fn func(xid.Event) error) (ExtractStats, error) {
+	var st ExtractStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		st.Lines++
+		ev, ok, err := ParseLine(sc.Text())
+		if err != nil {
+			st.Malformed++
+			continue
+		}
+		if !ok {
+			st.Skipped++
+			continue
+		}
+		st.XIDLines++
+		if err := fn(ev); err != nil {
+			return st, err
+		}
+	}
+	return st, sc.Err()
+}
+
+// ParseLine parses one raw line. ok is false for non-Xid lines; err is
+// non-nil for lines that match the Xid shape but have unparseable fields.
+func ParseLine(line string) (ev xid.Event, ok bool, err error) {
+	m := xidLineRE.FindStringSubmatch(line)
+	if m == nil {
+		return xid.Event{}, false, nil
+	}
+	ts, err := time.Parse(timeLayout, m[1])
+	if err != nil {
+		return xid.Event{}, false, fmt.Errorf("syslog: bad timestamp %q: %w", m[1], err)
+	}
+	gpu, found := GPUIndex(m[3])
+	if !found {
+		return xid.Event{}, false, fmt.Errorf("syslog: unknown PCI address %q", m[3])
+	}
+	code, err := strconv.Atoi(m[4])
+	if err != nil {
+		return xid.Event{}, false, fmt.Errorf("syslog: bad code %q: %w", m[4], err)
+	}
+	return xid.Event{
+		Time:   ts,
+		Node:   m[2],
+		GPU:    gpu,
+		Code:   xid.Code(code),
+		Detail: m[5],
+	}, true, nil
+}
