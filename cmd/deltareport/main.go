@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	deltareport [-seed N] [-scale F] [-window D] [-attr D]
+//	deltareport [-seed N] [-scale F] [-window D] [-attr D] [-workers N]
 //	            [-compare] [-quiet] [-ext] [-trend] [-csv DIR] [-hopper] [-rate]
 package main
 
@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trend   = fs.Bool("trend", false, "also print the 30-day error trend")
 		hopper  = fs.Bool("hopper", false, "run the Grace Hopper projection scenario instead of the A100 calibration")
 		rate    = fs.Bool("rate", false, "free-running rate mode instead of exact quotas")
+		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pcfg := core.DefaultPipelineConfig(sc.Cluster.PreOp, sc.Cluster.Op, sc.Cluster.Nodes4+sc.Cluster.Nodes8)
 	pcfg.CoalesceWindow = *window
 	pcfg.AttributionWindow = *attr
+	pcfg.Workers = *workers
 
 	start := time.Now()
 	out, err := core.EndToEnd(core.EndToEndConfig{Cluster: sc.Cluster, Pipeline: pcfg})

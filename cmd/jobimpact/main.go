@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	jobimpact -logs FILE -jobs FILE [-attr D] [-window D]
-//	jobimpact -data DIR [-attr D] [-window D]
+//	jobimpact -logs FILE -jobs FILE [-attr D] [-window D] [-workers N]
+//	jobimpact -data DIR [-attr D] [-window D] [-workers N]
 package main
 
 import (
@@ -37,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its files)")
 		attr    = fs.Duration("attr", 20*time.Second, "failure attribution window")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
+		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
 	cfg.AttributionWindow = *attr
 	cfg.CoalesceWindow = *window
+	cfg.Workers = *workers
 	res, err := core.AnalyzeLogs(lf, jf, nil, workload.CPURecord{}, cfg)
 	if err != nil {
 		return err

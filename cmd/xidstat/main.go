@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	xidstat -logs FILE [-window D]
-//	xidstat -data DIR  [-window D]
+//	xidstat -logs FILE [-window D] [-workers N]
+//	xidstat -data DIR  [-window D] [-workers N]
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 		logs    = fs.String("logs", "", "raw system log file")
 		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its syslog)")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
+		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 
 	cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
 	cfg.CoalesceWindow = *window
+	cfg.Workers = *workers
 	res, err := core.AnalyzeLogs(f, nil, nil, workload.CPURecord{}, cfg)
 	if err != nil {
 		return err

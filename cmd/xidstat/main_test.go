@@ -67,6 +67,27 @@ func TestRunWithDataset(t *testing.T) {
 	}
 }
 
+// The rendered table must be byte-identical at any -workers setting.
+func TestRunWorkersInvariant(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "syslog.txt")
+	writeLogs(t, path, 40)
+	var want bytes.Buffer
+	if err := run([]string{"-logs", path, "-workers", "1"}, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"0", "4", "16"} {
+		var out bytes.Buffer
+		if err := run([]string{"-logs", path, "-workers", w}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != want.String() {
+			t.Fatalf("-workers %s output differs from sequential:\n%s\nvs\n%s",
+				w, out.String(), want.String())
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

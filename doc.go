@@ -17,8 +17,15 @@
 //     (Table II), workload statistics (Table III), and availability analysis
 //     (Figure 2).
 //
+// Every pipeline stage can run sharded across worker goroutines
+// (PipelineConfig.Workers, CLI flag -workers) with byte-identical output at
+// any worker count; internal/parallel holds the pooling primitives and
+// docs/pipeline.md the determinism argument.
+//
 // Entry points live under internal/core (pipeline orchestration) and
 // internal/calib (the paper-calibrated configuration); runnable tools are in
 // cmd/ and runnable examples in examples/. Root-level bench_test.go holds one
-// benchmark per paper table and figure.
+// benchmark per paper table and figure. The docs/ tree documents the
+// pipeline (docs/pipeline.md), the dataset file formats
+// (docs/file-formats.md), and the CLI tools (docs/cli.md).
 package gpuresilience

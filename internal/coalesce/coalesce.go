@@ -63,8 +63,25 @@ func (c *Coalescer) Raw() int { return c.raw }
 // Kept returns how many events were kept.
 func (c *Coalescer) Kept() int { return c.kept }
 
-// Events coalesces a batch: it sorts a copy by (time, node, gpu, code) and
-// returns the kept events in order.
+// Less is the canonical Stage II event order: (time, node, gpu, code), with
+// input order breaking full ties (the sorts using it are stable). Both the
+// sequential and the sharded coalescing paths order events with it, which is
+// what makes their outputs identical.
+func Less(a, b xid.Event) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.GPU != b.GPU {
+		return a.GPU < b.GPU
+	}
+	return a.Code < b.Code
+}
+
+// Events coalesces a batch: it stably sorts a copy by (time, node, gpu,
+// code) and returns the kept events in order.
 func Events(events []xid.Event, window time.Duration) ([]xid.Event, error) {
 	c, err := New(window)
 	if err != nil {
@@ -72,19 +89,7 @@ func Events(events []xid.Event, window time.Duration) ([]xid.Event, error) {
 	}
 	sorted := make([]xid.Event, len(events))
 	copy(sorted, events)
-	sort.Slice(sorted, func(i, k int) bool {
-		a, b := sorted[i], sorted[k]
-		if !a.Time.Equal(b.Time) {
-			return a.Time.Before(b.Time)
-		}
-		if a.Node != b.Node {
-			return a.Node < b.Node
-		}
-		if a.GPU != b.GPU {
-			return a.GPU < b.GPU
-		}
-		return a.Code < b.Code
-	})
+	sort.SliceStable(sorted, func(i, k int) bool { return Less(sorted[i], sorted[k]) })
 	out := make([]xid.Event, 0, len(sorted))
 	for _, ev := range sorted {
 		if c.Add(ev) {

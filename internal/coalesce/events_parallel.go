@@ -1,0 +1,121 @@
+package coalesce
+
+import (
+	"sort"
+	"time"
+
+	"gpuresilience/internal/parallel"
+	"gpuresilience/internal/xid"
+)
+
+// minShardEvents is the per-worker batch size below which sharding costs
+// more than it saves; smaller inputs take the sequential path.
+const minShardEvents = 4096
+
+// EventsParallel is the sharded Stage II. Events are partitioned by
+// coalescing key (node, GPU, code) — the identity the Coalescer's state is
+// keyed on — so each shard can be sorted and coalesced independently; a
+// timestamp-ordered merge then rebuilds the global order.
+//
+// The output is exactly Events(events, window) at any worker count: the
+// per-key event subsequences are identical in both paths (stable sorts with
+// the same comparator), the Coalescer keeps state per key, and full-order
+// ties never span shards because tied events share a key. workers <= 0
+// means GOMAXPROCS.
+func EventsParallel(events []xid.Event, window time.Duration, workers int) ([]xid.Event, error) {
+	workers = parallel.Resolve(workers)
+	if max := len(events) / minShardEvents; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return Events(events, window)
+	}
+	if _, err := New(window); err != nil { // validate before spawning
+		return nil, err
+	}
+
+	shards := make([][]xid.Event, workers)
+	for _, ev := range events {
+		s := shardOf(ev.Key(), workers)
+		shards[s] = append(shards[s], ev)
+	}
+
+	err := parallel.ForEach(workers, workers, func(s int) error {
+		shard := shards[s]
+		sort.SliceStable(shard, func(i, k int) bool { return Less(shard[i], shard[k]) })
+		c, err := New(window)
+		if err != nil {
+			return err
+		}
+		kept := shard[:0]
+		for _, ev := range shard {
+			if c.Add(ev) {
+				kept = append(kept, ev)
+			}
+		}
+		shards[s] = kept
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeSorted(shards), nil
+}
+
+// shardOf maps a coalescing key to a shard with FNV-1a. Any deterministic
+// key-complete hash works: correctness only needs every event of a key to
+// land in the same shard.
+func shardOf(k xid.Key, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.Node); i++ {
+		h ^= uint64(k.Node[i])
+		h *= prime64
+	}
+	h ^= uint64(uint32(k.GPU))
+	h *= prime64
+	h ^= uint64(uint32(k.Code))
+	h *= prime64
+	return int(h % uint64(shards))
+}
+
+// mergeSorted k-way merges shards already sorted by Less. Cross-shard ties
+// under Less cannot occur (tied events share a key, hence a shard), so the
+// lowest-shard-first tie rule below never actually fires; it exists to keep
+// the merge total.
+func mergeSorted(shards [][]xid.Event) []xid.Event {
+	total := 0
+	nonEmpty := 0
+	for _, s := range shards {
+		total += len(s)
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+	out := make([]xid.Event, 0, total)
+	if nonEmpty == 1 {
+		for _, s := range shards {
+			if len(s) > 0 {
+				return append(out, s...)
+			}
+		}
+	}
+	idx := make([]int, len(shards))
+	for len(out) < total {
+		best := -1
+		for s := range shards {
+			if idx[s] >= len(shards[s]) {
+				continue
+			}
+			if best < 0 || Less(shards[s][idx[s]], shards[best][idx[best]]) {
+				best = s
+			}
+		}
+		out = append(out, shards[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

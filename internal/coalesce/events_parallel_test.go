@@ -1,0 +1,96 @@
+package coalesce
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/randx"
+	"gpuresilience/internal/xid"
+)
+
+// randomEvents builds a stream with heavy key collisions, duplicate
+// timestamps, and out-of-order arrivals — the structures that distinguish a
+// correct shard-and-merge from a lucky one.
+func randomEvents(seed uint64, n int) []xid.Event {
+	rng := randx.NewStream(seed)
+	codes := []xid.Code{xid.MMU, xid.DBE, xid.RRE, xid.NVLink, xid.UncontainedMem, xid.GSPError}
+	base := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]xid.Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := xid.Event{
+			// Coarse buckets force same-instant ties across distinct keys.
+			Time: base.Add(time.Duration(rng.Intn(500)) * time.Second),
+			Node: []string{"gpub001", "gpub002", "gpub003"}[rng.Intn(3)],
+			GPU:  rng.Intn(4),
+			Code: codes[rng.Intn(len(codes))],
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Property: EventsParallel is byte-identical to Events for every worker
+// count and window, including the window=0 "no dedup" ablation.
+func TestEventsParallelEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		// Exceed minShardEvents so the parallel path actually shards.
+		events := randomEvents(seed, 6*minShardEvents)
+		for _, window := range []time.Duration{0, time.Second, 5 * time.Second, time.Minute} {
+			want, err := Events(events, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 5, 16} {
+				got, err := EventsParallel(events, window, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed=%d window=%v workers=%d: parallel output diverges "+
+						"(got %d events, want %d)", seed, window, workers, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// Small inputs must fall back to the sequential path and still be correct.
+func TestEventsParallelSmallInput(t *testing.T) {
+	events := randomEvents(7, 100)
+	want, err := Events(events, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EventsParallel(events, 5*time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("small-input fallback diverges")
+	}
+	if _, err := EventsParallel(events, -time.Second, 8); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestEventsParallelEmpty(t *testing.T) {
+	got, err := EventsParallel(nil, 5*time.Second, 4)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v %v", got, err)
+	}
+}
+
+// Every event of a key must land in one shard, for any shard count.
+func TestShardOfStable(t *testing.T) {
+	k := xid.Key{Node: "gpub042", GPU: 3, Code: xid.NVLink}
+	for _, n := range []int{1, 2, 7, 16} {
+		s := shardOf(k, n)
+		if s < 0 || s >= n {
+			t.Fatalf("shardOf out of range: %d of %d", s, n)
+		}
+		if again := shardOf(k, n); again != s {
+			t.Fatal("shardOf not deterministic")
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"gpuresilience/internal/cluster"
 	"gpuresilience/internal/coalesce"
 	"gpuresilience/internal/impact"
+	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/slurmsim"
 	"gpuresilience/internal/stats"
 	"gpuresilience/internal/syslog"
@@ -49,6 +50,12 @@ type PipelineConfig struct {
 	// OutlierMinCount is the absolute floor below which a stream is never
 	// an outlier, guarding small datasets.
 	OutlierMinCount int
+	// Workers bounds each pipeline stage's parallelism: sharded Stage I
+	// extraction, key-sharded Stage II coalescing, and the Stage III
+	// fan-out each use at most this many goroutines. 0 means GOMAXPROCS,
+	// 1 forces the sequential path. Every table and figure is
+	// worker-count-invariant — see docs/pipeline.md for the argument.
+	Workers int
 }
 
 // DefaultPipelineConfig returns the paper's analysis settings.
@@ -132,7 +139,7 @@ func Analyze(events []xid.Event, jobs []*slurmsim.Job, repairs []time.Duration,
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	coalesced, err := coalesce.Events(events, cfg.CoalesceWindow)
+	coalesced, err := coalesce.EventsParallel(events, cfg.CoalesceWindow, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -141,20 +148,32 @@ func Analyze(events []xid.Event, jobs []*slurmsim.Job, repairs []time.Duration,
 		CoalescedEvents: len(coalesced),
 	}
 
-	if err := res.fillTableI(coalesced, cfg); err != nil {
+	// Stage III fan-out: the three analyses below only read coalesced/jobs,
+	// so they run concurrently (bounded by cfg.Workers); each one also
+	// shards internally where it pays off.
+	tasks := []func() error{
+		func() error { return res.fillTableI(coalesced, cfg) },
+		func() error {
+			cor, err := impact.Correlate(jobs, coalesced, impact.Config{
+				AttributionWindow: cfg.AttributionWindow,
+				Period:            cfg.Op,
+				Workers:           cfg.Workers,
+			})
+			if err != nil {
+				return err
+			}
+			res.TableII = cor
+			return nil
+		},
+		func() error {
+			res.TableIII = impact.TableIII(jobs)
+			res.JobStats = impact.ComputeJobStats(jobs, cpu.Total, cpu.Succeeded)
+			return nil
+		},
+	}
+	if err := parallel.ForEach(len(tasks), cfg.Workers, func(i int) error { return tasks[i]() }); err != nil {
 		return nil, err
 	}
-
-	cor, err := impact.Correlate(jobs, coalesced, impact.Config{
-		AttributionWindow: cfg.AttributionWindow,
-		Period:            cfg.Op,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.TableII = cor
-	res.TableIII = impact.TableIII(jobs)
-	res.JobStats = impact.ComputeJobStats(jobs, cpu.Total, cpu.Succeeded)
 
 	full := stats.Period{Name: "characterization", Start: cfg.PreOp.Start, End: cfg.Op.End}
 	errorCount := res.PreSummary.TotalExclOutliers + res.OpSummary.TotalExclOutliers
@@ -302,10 +321,17 @@ func (r *Results) Row(g xid.Group) (TableIRow, bool) {
 	return TableIRow{}, false
 }
 
-// ExtractEvents runs Stage I over a raw log stream.
+// ExtractEvents runs Stage I over a raw log stream sequentially.
 func ExtractEvents(r io.Reader) ([]xid.Event, syslog.ExtractStats, error) {
+	return ExtractEventsParallel(r, 1)
+}
+
+// ExtractEventsParallel runs Stage I over a raw log stream with the sharded
+// extractor. The ordered fan-in keeps the event slice (and stats) identical
+// to the sequential scan at any worker count.
+func ExtractEventsParallel(r io.Reader, workers int) ([]xid.Event, syslog.ExtractStats, error) {
 	var events []xid.Event
-	st, err := syslog.Extract(r, func(ev xid.Event) error {
+	st, err := syslog.ExtractParallel(r, workers, func(ev xid.Event) error {
 		events = append(events, ev)
 		return nil
 	})
@@ -313,19 +339,38 @@ func ExtractEvents(r io.Reader) ([]xid.Event, syslog.ExtractStats, error) {
 }
 
 // AnalyzeLogs runs the full pipeline from raw inputs: a syslog stream and a
-// sacct-style job database dump.
+// sacct-style job database dump. The two inputs are independent streams, so
+// they load concurrently when cfg.Workers allows.
 func AnalyzeLogs(logs io.Reader, jobDB io.Reader, repairs []time.Duration,
 	cpu workload.CPURecord, cfg PipelineConfig) (*Results, error) {
-	events, st, err := ExtractEvents(logs)
-	if err != nil {
-		return nil, fmt.Errorf("core: stage I: %w", err)
+	var (
+		events []xid.Event
+		st     syslog.ExtractStats
+		jobs   []*slurmsim.Job
+	)
+	loaders := []func() error{
+		func() error {
+			var err error
+			events, st, err = ExtractEventsParallel(logs, cfg.Workers)
+			if err != nil {
+				return fmt.Errorf("core: stage I: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			if jobDB == nil {
+				return nil
+			}
+			var err error
+			jobs, err = slurmsim.LoadDB(jobDB)
+			if err != nil {
+				return fmt.Errorf("core: load job DB: %w", err)
+			}
+			return nil
+		},
 	}
-	var jobs []*slurmsim.Job
-	if jobDB != nil {
-		jobs, err = slurmsim.LoadDB(jobDB)
-		if err != nil {
-			return nil, fmt.Errorf("core: load job DB: %w", err)
-		}
+	if err := parallel.ForEach(len(loaders), cfg.Workers, func(i int) error { return loaders[i]() }); err != nil {
+		return nil, err
 	}
 	res, err := Analyze(events, jobs, repairs, cpu, cfg)
 	if err != nil {
@@ -370,10 +415,11 @@ func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
 		return nil, err
 	}
 
-	// Stream raw lines from the simulator into Stage I through a pipe of
-	// parsed events: the writer formats (with duplication and noise), and a
-	// line-buffered reader side extracts. To keep it single-threaded we
-	// format into an in-memory spool per event and parse immediately.
+	// Stream raw lines from the simulator into Stage I through a pipe: the
+	// writer formats (with duplication and noise) as the simulation runs,
+	// and the reader side extracts concurrently — sharded across
+	// cfg.Pipeline.Workers goroutines with an ordered fan-in, so the event
+	// stream is identical to a sequential scan.
 	pr, pw := io.Pipe()
 	logDst := io.Writer(pw)
 	if cfg.KeepRawLogs != nil {
@@ -399,7 +445,7 @@ func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
 	}
 	done := make(chan extractOut, 1)
 	go func() {
-		events, st, err := ExtractEvents(pr)
+		events, st, err := ExtractEventsParallel(pr, cfg.Pipeline.Workers)
 		done <- extractOut{events: events, stats: st, err: err}
 	}()
 

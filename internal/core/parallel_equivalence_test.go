@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/report"
+	"gpuresilience/internal/slurmsim"
+	"gpuresilience/internal/workload"
+)
+
+// TestParallelPipelineEquivalence is the determinism guarantee of the
+// sharded pipeline, checked end to end over a full simulated dataset: the
+// raw log and job DB of a scale-0.1 run are re-analyzed from bytes with
+// Workers ∈ {1, 4, 16}, and the rendered Table I, Table II, and Table III
+// must be byte-identical across all worker counts (1 is the sequential
+// path). Skipped under -short: the simulation takes a few seconds.
+func TestParallelPipelineEquivalence(t *testing.T) {
+	scale := 0.1
+	if testing.Short() {
+		scale = 0.02
+	}
+	sc := calib.NewScenario(1, scale)
+
+	var rawLogs bytes.Buffer
+	out, err := core.EndToEnd(core.EndToEndConfig{
+		Cluster:     sc.Cluster,
+		Pipeline:    core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes),
+		KeepRawLogs: &rawLogs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobsDB bytes.Buffer
+	if err := slurmsim.DumpDB(&jobsDB, out.Truth.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dataset: %d raw log bytes, %d jobs", rawLogs.Len(), len(out.Truth.Jobs))
+
+	render := func(workers int) string {
+		cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
+		cfg.Workers = workers
+		res, err := core.AnalyzeLogs(bytes.NewReader(rawLogs.Bytes()),
+			bytes.NewReader(jobsDB.Bytes()), nil, workload.CPURecord{}, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		for _, write := range []func(*bytes.Buffer) error{
+			func(b *bytes.Buffer) error { return report.WriteTableI(b, res) },
+			func(b *bytes.Buffer) error { return report.WriteTableII(b, res) },
+			func(b *bytes.Buffer) error { return report.WriteTableIII(b, res) },
+		} {
+			if err := write(&buf); err != nil {
+				t.Fatalf("workers=%d: render: %v", workers, err)
+			}
+			buf.WriteByte('\n')
+		}
+		if res.CoalescedEvents == 0 {
+			t.Fatalf("workers=%d: no coalesced events", workers)
+		}
+		return buf.String()
+	}
+
+	want := render(1)
+	for _, workers := range []int{4, 16} {
+		if got := render(workers); got != want {
+			t.Errorf("Workers=%d output diverges from the sequential pipeline:\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}

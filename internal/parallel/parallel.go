@@ -1,0 +1,193 @@
+// Package parallel provides the bounded-concurrency primitives behind the
+// sharded pipeline: a parallel index loop with deterministic error
+// selection, an ordered map, and a streaming worker pool whose results come
+// back in submission order (ordered fan-in).
+//
+// Every construct is worker-count-invariant by design: given the same
+// inputs, results are identical whether the work ran on one goroutine or
+// sixteen. That property is what lets the pipeline guarantee byte-identical
+// Table I/II/III output at any -workers setting (see docs/pipeline.md).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve returns the effective worker count: n when positive, otherwise
+// GOMAXPROCS. Pipeline options treat 0 as "use every core" and 1 as "force
+// the sequential path".
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and waits for all started calls to finish. When several calls fail, the
+// error of the lowest index is returned — the same error a sequential loop
+// would have hit first — so error behavior is deterministic regardless of
+// scheduling. After a failure, unstarted indices are skipped.
+func ForEach(n, workers int, fn func(i int) error) error {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Map applies fn to every item on at most workers goroutines and returns
+// the results in input order. On error the lowest-index failure wins (see
+// ForEach) and the partial results are discarded.
+func Map[T, R any](items []T, workers int, fn func(T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(len(items), workers, func(i int) error {
+		r, err := fn(items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// result carries one worker output.
+type result[R any] struct {
+	val R
+	err error
+}
+
+// job pairs an input with the slot its result must land in.
+type job[T, R any] struct {
+	item T
+	out  chan result[R]
+}
+
+// Ordered is a streaming worker pool with ordered fan-in: a producer
+// Submits items, workers transform them concurrently, and the consumer
+// receives results strictly in submission order — the property the sharded
+// log extractor relies on to keep parallel output identical to a
+// sequential scan. Producer and consumer must run on different goroutines;
+// at most depth submissions may be outstanding before Submit blocks.
+type Ordered[T, R any] struct {
+	work      chan job[T, R]
+	pending   chan chan result[R]
+	abort     chan struct{}
+	abortOnce sync.Once
+}
+
+// NewOrdered starts a pool of workers running fn. depth bounds the number
+// of in-flight items (it is raised to the worker count when smaller).
+func NewOrdered[T, R any](workers, depth int, fn func(T) (R, error)) *Ordered[T, R] {
+	workers = Resolve(workers)
+	if depth < workers {
+		depth = workers
+	}
+	o := &Ordered[T, R]{
+		work:    make(chan job[T, R], depth),
+		pending: make(chan chan result[R], depth),
+		abort:   make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range o.work {
+				v, err := fn(j.item)
+				j.out <- result[R]{val: v, err: err}
+			}
+		}()
+	}
+	return o
+}
+
+// Submit queues one item. It reports false when the pool was aborted, at
+// which point the producer should stop and call CloseSubmit.
+func (o *Ordered[T, R]) Submit(item T) bool {
+	out := make(chan result[R], 1)
+	select {
+	case o.pending <- out:
+	case <-o.abort:
+		return false
+	}
+	select {
+	case o.work <- job[T, R]{item: item, out: out}:
+		return true
+	case <-o.abort:
+		out <- result[R]{} // keep the consumer's drain from blocking
+		return false
+	}
+}
+
+// CloseSubmit marks the end of input. The consumer's Next drains the
+// remaining in-flight results and then reports done. Must be called
+// exactly once, by the producer.
+func (o *Ordered[T, R]) CloseSubmit() {
+	close(o.work)
+	close(o.pending)
+}
+
+// Next returns the next result in submission order; ok is false once all
+// submitted items have been consumed after CloseSubmit.
+func (o *Ordered[T, R]) Next() (R, bool, error) {
+	out, ok := <-o.pending
+	if !ok {
+		var zero R
+		return zero, false, nil
+	}
+	r := <-out
+	return r.val, true, r.err
+}
+
+// Abort releases a blocked producer after the consumer stops early (e.g.
+// its callback failed). The consumer must still drain Next until done so
+// workers can finish. Safe to call multiple times.
+func (o *Ordered[T, R]) Abort() {
+	o.abortOnce.Do(func() { close(o.abort) })
+}

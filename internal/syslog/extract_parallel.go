@@ -1,0 +1,166 @@
+package syslog
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"gpuresilience/internal/parallel"
+	"gpuresilience/internal/xid"
+)
+
+// defaultChunkBytes is the target shard size of the parallel extractor. A
+// chunk always ends on a line boundary, so a worker never sees a torn line.
+const defaultChunkBytes = 1 << 20
+
+// chunkResult is one worker's output: the parsed events of its chunk, in
+// the chunk's line order, plus the chunk's share of the scan statistics.
+type chunkResult struct {
+	events []xid.Event
+	stats  ExtractStats
+}
+
+// ExtractParallel is the sharded Stage I: the raw log is split on line
+// boundaries into ~1 MiB chunks, up to workers goroutines run the regex
+// extraction concurrently, and an ordered fan-in re-serializes the parsed
+// events so fn observes exactly the sequence (and final stats) the
+// sequential Extract would have produced. workers <= 0 means GOMAXPROCS;
+// workers == 1 falls back to Extract.
+//
+// When fn returns an error, extraction stops early and the partial stats
+// may differ from the sequential path's (they are aggregated per chunk, not
+// per line); on a nil-error run the stats are identical.
+func ExtractParallel(r io.Reader, workers int, fn func(xid.Event) error) (ExtractStats, error) {
+	workers = parallel.Resolve(workers)
+	if workers <= 1 {
+		return Extract(r, fn)
+	}
+	pool := parallel.NewOrdered(workers, 2*workers, func(chunk []byte) (chunkResult, error) {
+		return parseChunk(chunk), nil
+	})
+
+	// The producer reads line-aligned chunks and feeds the pool; the
+	// consumer below re-serializes results in chunk order.
+	readErr := make(chan error, 1)
+	go func() {
+		defer pool.CloseSubmit()
+		readErr <- readChunks(r, pool.Submit)
+	}()
+
+	var st ExtractStats
+	var fnErr error
+	for {
+		out, ok, err := pool.Next()
+		if !ok {
+			break
+		}
+		if err != nil || fnErr != nil {
+			continue // draining after a failure; parseChunk itself never errors
+		}
+		st.Lines += out.stats.Lines
+		st.Skipped += out.stats.Skipped
+		st.Malformed += out.stats.Malformed
+		for _, ev := range out.events {
+			st.XIDLines++
+			if err := fn(ev); err != nil {
+				fnErr = err
+				pool.Abort()
+				break
+			}
+		}
+	}
+	if fnErr != nil {
+		return st, fnErr
+	}
+	if err := <-readErr; err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// parseChunk runs the Stage I regex over one line-aligned chunk.
+func parseChunk(chunk []byte) chunkResult {
+	var out chunkResult
+	for len(chunk) > 0 {
+		var line []byte
+		if idx := bytes.IndexByte(chunk, '\n'); idx >= 0 {
+			line, chunk = chunk[:idx], chunk[idx+1:]
+		} else {
+			line, chunk = chunk, nil
+		}
+		out.stats.Lines++
+		ev, ok, err := ParseLine(string(line))
+		if err != nil {
+			out.stats.Malformed++
+			continue
+		}
+		if !ok {
+			out.stats.Skipped++
+			continue
+		}
+		out.events = append(out.events, ev)
+	}
+	return out
+}
+
+// readChunks reads r into line-aligned chunks and emits each one. emit
+// reports false when the consumer aborted, which stops the read without
+// error. A line longer than MaxLineBytes fails with its line number, like
+// the sequential scanner does.
+func readChunks(r io.Reader, emit func([]byte) bool) error {
+	var leftover []byte // tail bytes after the last newline of the previous read
+	lines := 0          // complete lines emitted so far, for error context
+	for {
+		buf := make([]byte, len(leftover)+defaultChunkBytes)
+		copy(buf, leftover)
+		n, err := io.ReadFull(r, buf[len(leftover):])
+		buf = buf[:len(leftover)+n]
+		eof := false
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			eof = true
+		default:
+			return scanError(err, lines)
+		}
+		// Only the first line of buf can exceed the line ceiling: it alone
+		// continues the carried-over tail, while every later line is bounded
+		// by one read. Mirrors the sequential scanner's bufio.ErrTooLong.
+		if err := checkFirstLine(buf, lines); err != nil {
+			return err
+		}
+		if eof {
+			if len(buf) > 0 {
+				emit(buf)
+			}
+			return nil
+		}
+		idx := bytes.LastIndexByte(buf, '\n')
+		if idx < 0 {
+			leftover = buf // no line boundary yet; keep accumulating
+			continue
+		}
+		chunk := buf[:idx+1]
+		lines += bytes.Count(chunk, []byte{'\n'})
+		// Copy the tail: the chunk (and everything aliasing buf) is handed
+		// to a worker goroutine.
+		leftover = append([]byte(nil), buf[idx+1:]...)
+		if !emit(chunk) {
+			return nil
+		}
+	}
+}
+
+// checkFirstLine rejects a first line of buf longer than MaxLineBytes.
+// scanned complete lines precede buf, so the offending line is scanned+1.
+func checkFirstLine(buf []byte, scanned int) error {
+	first := bytes.IndexByte(buf, '\n')
+	if first < 0 {
+		first = len(buf)
+	}
+	if first > MaxLineBytes {
+		return fmt.Errorf("syslog: line %d longer than %d bytes (corrupt log?)",
+			scanned+1, MaxLineBytes)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ package syslog
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"regexp"
@@ -187,6 +188,17 @@ func (w *Writer) Flush() error { return w.bw.Flush() }
 var xidLineRE = regexp.MustCompile(
 	`^(\S+) (\S+) kernel: NVRM: Xid \(PCI:([0-9A-Fa-f:]+)\): (\d+), pid=\d+, name=\S*, (.*)$`)
 
+// Scanner sizing for the raw-log readers. A consolidated syslog line is a
+// few hundred bytes; MaxLineBytes is the hard ceiling past which a line is
+// treated as log corruption rather than data, so a pathological unterminated
+// line fails loudly (with its line number) instead of stalling the scan.
+const (
+	// scanBufBytes is the initial scanner buffer.
+	scanBufBytes = 64 << 10
+	// MaxLineBytes is the longest raw log line Extract accepts (4 MiB).
+	MaxLineBytes = 4 << 20
+)
+
 // ExtractStats reports what the extractor saw.
 type ExtractStats struct {
 	Lines     int // total lines scanned
@@ -196,11 +208,12 @@ type ExtractStats struct {
 }
 
 // Extract streams raw log lines from r, parses the Xid records, and calls fn
-// for each. It is the pipeline's Stage I.
+// for each. It is the pipeline's Stage I (sequential path; ExtractParallel
+// is the sharded equivalent and produces identical events and stats).
 func Extract(r io.Reader, fn func(xid.Event) error) (ExtractStats, error) {
 	var st ExtractStats
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	sc.Buffer(make([]byte, 0, scanBufBytes), MaxLineBytes)
 	for sc.Scan() {
 		st.Lines++
 		ev, ok, err := ParseLine(sc.Text())
@@ -217,7 +230,21 @@ func Extract(r io.Reader, fn func(xid.Event) error) (ExtractStats, error) {
 			return st, err
 		}
 	}
-	return st, sc.Err()
+	if err := sc.Err(); err != nil {
+		return st, scanError(err, st.Lines)
+	}
+	return st, nil
+}
+
+// scanError attaches line context to a raw-log read failure. scanned is how
+// many complete lines were consumed before the failure, so the bad line is
+// scanned+1.
+func scanError(err error, scanned int) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("syslog: line %d longer than %d bytes (corrupt log?): %w",
+			scanned+1, MaxLineBytes, err)
+	}
+	return fmt.Errorf("syslog: read failed at line %d: %w", scanned+1, err)
 }
 
 // ParseLine parses one raw line. ok is false for non-Xid lines; err is
