@@ -7,6 +7,7 @@
 //
 //	deltareport [-seed N] [-scale F] [-window D] [-attr D] [-workers N]
 //	            [-compare] [-quiet] [-ext] [-trend] [-csv DIR] [-hopper] [-rate]
+//	            [-lenient] [-max-bad-lines N] [-max-bad-frac F]
 package main
 
 import (
@@ -45,10 +46,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		hopper  = fs.Bool("hopper", false, "run the Grace Hopper projection scenario instead of the A100 calibration")
 		rate    = fs.Bool("rate", false, "free-running rate mode instead of exact quotas")
 		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
+		lenient = fs.Bool("lenient", false, "corruption-tolerant Stage I: classify and skip damaged lines instead of failing")
+		maxBad  = fs.Int("max-bad-lines", 0, "lenient error budget: fail after this many corrupt lines (0 = unlimited, implies -lenient)")
+		maxFrac = fs.Float64("max-bad-frac", 0, "lenient error budget: fail when this corrupt-line fraction is exceeded (0 = unlimited, implies -lenient)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	*lenient = *lenient || *maxBad > 0 || *maxFrac > 0
 
 	sc := calib.NewScenario(*seed, *scale)
 	if *hopper {
@@ -62,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pcfg.CoalesceWindow = *window
 	pcfg.AttributionWindow = *attr
 	pcfg.Workers = *workers
+	pcfg.Lenient = *lenient
+	pcfg.MaxBadLines = *maxBad
+	pcfg.MaxBadFrac = *maxFrac
 
 	start := time.Now()
 	out, err := core.EndToEnd(core.EndToEndConfig{Cluster: sc.Cluster, Pipeline: pcfg})
@@ -72,6 +80,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out.RawLogLines, len(out.Truth.Jobs), time.Since(start).Round(time.Millisecond))
 
 	if !*quiet {
+		if out.Results.Ingestion != nil {
+			if err := report.WriteIngestion(stdout, out.Results); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+		}
 		if err := report.WriteAll(stdout, out.Results); err != nil {
 			return err
 		}

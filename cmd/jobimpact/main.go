@@ -5,7 +5,9 @@
 // Usage:
 //
 //	jobimpact -logs FILE -jobs FILE [-attr D] [-window D] [-workers N]
+//	          [-lenient] [-max-bad-lines N] [-max-bad-frac F]
 //	jobimpact -data DIR [-attr D] [-window D] [-workers N]
+//	          [-lenient] [-max-bad-lines N] [-max-bad-frac F]
 package main
 
 import (
@@ -38,10 +40,14 @@ func run(args []string, stdout io.Writer) error {
 		attr    = fs.Duration("attr", 20*time.Second, "failure attribution window")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
 		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
+		lenient = fs.Bool("lenient", false, "corruption-tolerant Stage I: classify and skip damaged lines instead of failing")
+		maxBad  = fs.Int("max-bad-lines", 0, "lenient error budget: fail after this many corrupt lines (0 = unlimited, implies -lenient)")
+		maxFrac = fs.Float64("max-bad-frac", 0, "lenient error budget: fail when this corrupt-line fraction is exceeded (0 = unlimited, implies -lenient)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	*lenient = *lenient || *maxBad > 0 || *maxFrac > 0
 	if *dataDir != "" {
 		m, err := dataset.Verify(*dataDir)
 		if err != nil {
@@ -75,9 +81,18 @@ func run(args []string, stdout io.Writer) error {
 	cfg.AttributionWindow = *attr
 	cfg.CoalesceWindow = *window
 	cfg.Workers = *workers
+	cfg.Lenient = *lenient
+	cfg.MaxBadLines = *maxBad
+	cfg.MaxBadFrac = *maxFrac
 	res, err := core.AnalyzeLogs(lf, jf, nil, workload.CPURecord{}, cfg)
 	if err != nil {
 		return err
+	}
+	if res.Ingestion != nil {
+		if err := report.WriteIngestion(stdout, res); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
 	}
 	if err := report.WriteTableII(stdout, res); err != nil {
 		return err

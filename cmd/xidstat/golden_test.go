@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpuresilience/internal/logfuzz"
+	"gpuresilience/internal/syslog"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestCorruptLogGolden pins the full xidstat output — ingestion report plus
+// Table I — for a deterministic fuzzer-corrupted log. Any unintended change
+// to the taxonomy labels, report layout, quarantine rendering, or recovery
+// behavior shows up as a golden diff. Regenerate with:
+//
+//	go test ./cmd/xidstat -run TestCorruptLogGolden -update
+func TestCorruptLogGolden(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.log")
+	writeLogs(t, clean, 60)
+	raw, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted, _, err := logfuzz.Corrupt(raw, logfuzz.Config{
+		Seed:          2024,
+		Rate:          0.10,
+		OversizeBytes: 8 << 10,
+		Parses: func(line []byte) bool {
+			_, ok, err := syslog.ParseLine(string(line))
+			return ok && err == nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "corrupt.log")
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-logs", path, "-lenient", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "corrupt_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output diverges from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, out.Bytes(), want)
+	}
+}

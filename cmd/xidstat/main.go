@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	xidstat -logs FILE [-window D] [-workers N]
-//	xidstat -data DIR  [-window D] [-workers N]
+//	xidstat -logs FILE [-window D] [-workers N] [-lenient] [-max-bad-lines N] [-max-bad-frac F]
+//	xidstat -data DIR  [-window D] [-workers N] [-lenient] [-max-bad-lines N] [-max-bad-frac F]
 package main
 
 import (
@@ -35,10 +35,14 @@ func run(args []string, stdout io.Writer) error {
 		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its syslog)")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
 		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
+		lenient = fs.Bool("lenient", false, "corruption-tolerant Stage I: classify and skip damaged lines instead of failing")
+		maxBad  = fs.Int("max-bad-lines", 0, "lenient error budget: fail after this many corrupt lines (0 = unlimited, implies -lenient)")
+		maxFrac = fs.Float64("max-bad-frac", 0, "lenient error budget: fail when this corrupt-line fraction is exceeded (0 = unlimited, implies -lenient)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	*lenient = *lenient || *maxBad > 0 || *maxFrac > 0
 	if *dataDir != "" {
 		m, err := dataset.Verify(*dataDir)
 		if err != nil {
@@ -62,6 +66,9 @@ func run(args []string, stdout io.Writer) error {
 	cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
 	cfg.CoalesceWindow = *window
 	cfg.Workers = *workers
+	cfg.Lenient = *lenient
+	cfg.MaxBadLines = *maxBad
+	cfg.MaxBadFrac = *maxFrac
 	res, err := core.AnalyzeLogs(f, nil, nil, workload.CPURecord{}, cfg)
 	if err != nil {
 		return err
@@ -69,5 +76,11 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "scanned %d lines: %d XID lines, %d noise, %d malformed -> %d coalesced errors\n\n",
 		res.Extract.Lines, res.Extract.XIDLines, res.Extract.Skipped,
 		res.Extract.Malformed, res.CoalescedEvents)
+	if res.Ingestion != nil {
+		if err := report.WriteIngestion(stdout, res); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
 	return report.WriteTableI(stdout, res)
 }

@@ -22,10 +22,18 @@
 // any worker count; internal/parallel holds the pooling primitives and
 // docs/pipeline.md the determinism argument.
 //
+// Stage I runs strict by default (the first malformed read fails the run);
+// PipelineConfig.Lenient (CLI flag -lenient) switches it to
+// corruption-tolerant extraction with a typed damage taxonomy, bounded
+// quarantine, error budgets, and a structured ingestion report —
+// docs/robustness.md has the taxonomy and the recovery guarantee, and
+// internal/logfuzz the deterministic fault injector that enforces it.
+//
 // Entry points live under internal/core (pipeline orchestration) and
 // internal/calib (the paper-calibrated configuration); runnable tools are in
 // cmd/ and runnable examples in examples/. Root-level bench_test.go holds one
 // benchmark per paper table and figure. The docs/ tree documents the
 // pipeline (docs/pipeline.md), the dataset file formats
-// (docs/file-formats.md), and the CLI tools (docs/cli.md).
+// (docs/file-formats.md), the CLI tools (docs/cli.md), and
+// corruption-tolerant ingestion (docs/robustness.md).
 package gpuresilience

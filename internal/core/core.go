@@ -56,6 +56,26 @@ type PipelineConfig struct {
 	// 1 forces the sequential path. Every table and figure is
 	// worker-count-invariant — see docs/pipeline.md for the argument.
 	Workers int
+	// Lenient switches Stage I to corruption-tolerant extraction: damaged
+	// lines are classified, quarantined, and skipped instead of failing the
+	// run, and Results.Ingestion carries the structured report. See
+	// docs/robustness.md for the taxonomy and the recovery guarantee.
+	Lenient bool
+	// MaxBadLines is the lenient mode's absolute error budget: more than
+	// this many corrupt lines fails the run with a syslog.BudgetError.
+	// 0 means unlimited. Implies nothing in strict mode.
+	MaxBadLines int
+	// MaxBadFrac is the lenient mode's whole-stream corrupt-fraction
+	// budget, checked at EOF. 0 means unlimited.
+	MaxBadFrac float64
+}
+
+// lenientOptions maps the pipeline's lenient settings onto Stage I options.
+func (c PipelineConfig) lenientOptions() syslog.LenientOptions {
+	return syslog.LenientOptions{
+		MaxBadLines: c.MaxBadLines,
+		MaxBadFrac:  c.MaxBadFrac,
+	}
 }
 
 // DefaultPipelineConfig returns the paper's analysis settings.
@@ -117,6 +137,10 @@ type PeriodSummary struct {
 // Results is the full pipeline output.
 type Results struct {
 	Extract syslog.ExtractStats
+	// Ingestion is the structured Stage I report of a lenient run: lines
+	// scanned, per-category corrupt-line counts, quarantine samples, and
+	// budget status. Nil on strict (default) runs.
+	Ingestion *syslog.IngestionReport
 	// RawEvents and CoalescedEvents count Stage II input/output.
 	RawEvents       int
 	CoalescedEvents int
@@ -338,6 +362,19 @@ func ExtractEventsParallel(r io.Reader, workers int) ([]xid.Event, syslog.Extrac
 	return events, st, err
 }
 
+// ExtractEventsLenient runs the corruption-tolerant Stage I: damaged lines
+// are classified and skipped under the configured error budgets, and the
+// structured ingestion report comes back alongside the recovered events.
+// The report is non-nil even when extraction fails.
+func ExtractEventsLenient(r io.Reader, workers int, opt syslog.LenientOptions) ([]xid.Event, *syslog.IngestionReport, error) {
+	var events []xid.Event
+	rep, err := syslog.ExtractLenientParallel(r, workers, opt, func(ev xid.Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	return events, rep, err
+}
+
 // AnalyzeLogs runs the full pipeline from raw inputs: a syslog stream and a
 // sacct-style job database dump. The two inputs are independent streams, so
 // they load concurrently when cfg.Workers allows.
@@ -346,12 +383,18 @@ func AnalyzeLogs(logs io.Reader, jobDB io.Reader, repairs []time.Duration,
 	var (
 		events []xid.Event
 		st     syslog.ExtractStats
+		ingest *syslog.IngestionReport
 		jobs   []*slurmsim.Job
 	)
 	loaders := []func() error{
 		func() error {
 			var err error
-			events, st, err = ExtractEventsParallel(logs, cfg.Workers)
+			if cfg.Lenient {
+				events, ingest, err = ExtractEventsLenient(logs, cfg.Workers, cfg.lenientOptions())
+				st = ingestStats(ingest)
+			} else {
+				events, st, err = ExtractEventsParallel(logs, cfg.Workers)
+			}
 			if err != nil {
 				return fmt.Errorf("core: stage I: %w", err)
 			}
@@ -377,7 +420,22 @@ func AnalyzeLogs(logs io.Reader, jobDB io.Reader, repairs []time.Duration,
 		return nil, err
 	}
 	res.Extract = st
+	res.Ingestion = ingest
 	return res, nil
+}
+
+// ingestStats projects a lenient ingestion report onto the strict-mode
+// stat shape, so downstream summaries read the same either way.
+func ingestStats(rep *syslog.IngestionReport) syslog.ExtractStats {
+	if rep == nil {
+		return syslog.ExtractStats{}
+	}
+	return syslog.ExtractStats{
+		Lines:     rep.Lines,
+		XIDLines:  rep.Records,
+		Skipped:   rep.Noise,
+		Malformed: rep.BadTotal,
+	}
 }
 
 // EndToEndConfig couples a simulation with pipeline settings.
@@ -441,12 +499,25 @@ func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
 	type extractOut struct {
 		events []xid.Event
 		stats  syslog.ExtractStats
+		ingest *syslog.IngestionReport
 		err    error
 	}
 	done := make(chan extractOut, 1)
 	go func() {
-		events, st, err := ExtractEventsParallel(pr, cfg.Pipeline.Workers)
-		done <- extractOut{events: events, stats: st, err: err}
+		var out extractOut
+		if cfg.Pipeline.Lenient {
+			var rep *syslog.IngestionReport
+			out.events, rep, out.err = ExtractEventsLenient(pr, cfg.Pipeline.Workers, cfg.Pipeline.lenientOptions())
+			out.stats, out.ingest = ingestStats(rep), rep
+		} else {
+			out.events, out.stats, out.err = ExtractEventsParallel(pr, cfg.Pipeline.Workers)
+		}
+		if out.err != nil {
+			// Unblock the writer side: an early abort (e.g. an exceeded
+			// error budget) must not deadlock the simulation's pipe writes.
+			_ = pr.CloseWithError(out.err)
+		}
+		done <- out
 	}()
 
 	truth, runErr := sim.Run()
@@ -477,6 +548,7 @@ func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
 		return nil, err
 	}
 	res.Extract = ext.stats
+	res.Ingestion = ext.ingest
 	out := &EndToEndResult{
 		Results:     res,
 		Truth:       truth,

@@ -1,0 +1,509 @@
+// Package logfuzz is a deterministic, seedable log-corruption injector for
+// testing corruption-tolerant ingestion. It wraps any io.Reader and damages
+// the stream the way real consolidated syslogs get damaged — truncated
+// writes, torn/merged lines, flipped bytes in structured fields, duplicated
+// buffer chunks, out-of-order blocks, binary garbage, unterminated oversized
+// lines — while recording exactly which original lines and byte ranges it
+// touched, so tests can assert recovery precisely.
+//
+// The contract the recovery tests rely on: a line listed in Report.Touched
+// never survives as a parseable record (Config.Parses enforces it), lines
+// not listed are emitted byte-for-byte intact (possibly relocated — see
+// Report.Moved), and injected lines never parse as records. Surviving
+// computes the intact subset, so for any corruption run:
+//
+//	lenient-extract(corrupted) == extract(Surviving(input, report))
+//
+// as a multiset of records.
+package logfuzz
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"gpuresilience/internal/randx"
+)
+
+// Op is one corruption operation.
+type Op int
+
+// The corruption repertoire.
+const (
+	// OpTruncate cuts a line short, as a torn write does.
+	OpTruncate Op = iota
+	// OpSplit breaks one line into two with a stray newline.
+	OpSplit
+	// OpMerge joins a line with its successor (lost newline).
+	OpMerge
+	// OpBitFlip flips bits in a few bytes of the line.
+	OpBitFlip
+	// OpDupChunk re-inserts a mangled copy of recent lines, like an
+	// interleaved buffer flush.
+	OpDupChunk
+	// OpReorder shuffles a small block of intact lines out of order.
+	OpReorder
+	// OpGarbage injects lines of raw binary bytes.
+	OpGarbage
+	// OpOversize injects a line far beyond any sane line-length ceiling.
+	OpOversize
+
+	numOps
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpTruncate:
+		return "truncate"
+	case OpSplit:
+		return "split"
+	case OpMerge:
+		return "merge"
+	case OpBitFlip:
+		return "bitflip"
+	case OpDupChunk:
+		return "dup-chunk"
+	case OpReorder:
+		return "reorder"
+	case OpGarbage:
+		return "garbage"
+	case OpOversize:
+		return "oversize"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// AllOps returns every op, for enabling the full repertoire.
+func AllOps() []Op {
+	ops := make([]Op, numOps)
+	for i := range ops {
+		ops[i] = Op(i)
+	}
+	return ops
+}
+
+// Config parameterizes the injector. The zero value (plus a seed) is a
+// usable default: every op enabled at a 2% per-line rate.
+type Config struct {
+	// Seed drives the deterministic corruption stream: same seed + same
+	// input + same config => byte-identical output and report.
+	Seed uint64
+	// Rate is the per-line probability that a damaging op is applied
+	// (default 0.02). Reorder is decided once per window at the same rate.
+	Rate float64
+	// Ops enables a subset of the repertoire; nil means all ops.
+	Ops []Op
+	// OversizeBytes is the payload length of injected oversized lines.
+	// Default 4 MiB + 64 — just past the extractor's default line ceiling.
+	OversizeBytes int
+	// WindowLines is the block size within which reorder/dup stay local
+	// (default 64). Corruption is streamed window by window.
+	WindowLines int
+	// Parses reports whether a line would be accepted as a valid record.
+	// When set, any line the injector damages (or injects) that still
+	// parses is destroyed further, guaranteeing touched lines never
+	// contribute records. Damaged lines may still end in any byte,
+	// including '\r', so implementations should check the exact bytes.
+	Parses func(line []byte) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate <= 0 {
+		c.Rate = 0.02
+	}
+	if len(c.Ops) == 0 {
+		c.Ops = AllOps()
+	}
+	if c.OversizeBytes <= 0 {
+		c.OversizeBytes = 4<<20 + 64
+	}
+	if c.WindowLines <= 0 {
+		c.WindowLines = 64
+	}
+	return c
+}
+
+// Range is a damaged byte range of the original input.
+type Range struct {
+	Off int // byte offset into the original input
+	Len int
+}
+
+// Report records exactly what the injector did.
+type Report struct {
+	// TotalLines is how many lines the original input had.
+	TotalLines int
+	// Touched lists original line indices (0-based) whose bytes were
+	// damaged: their records are unrecoverable by construction. Sorted.
+	Touched []int
+	// Moved lists original line indices relocated intact by reorder; their
+	// records survive, out of order. Sorted; disjoint from Touched unless a
+	// later op damaged a moved line.
+	Moved []int
+	// Inserted counts injected lines (garbage, oversize, mangled
+	// duplicates) that have no original counterpart.
+	Inserted int
+	// ByOp counts applications per op.
+	ByOp map[Op]int
+	// Ranges lists the damaged byte ranges of the original input, in
+	// offset order. Insertions damage no original bytes and appear only in
+	// Inserted/ByOp.
+	Ranges []Range
+}
+
+// TouchedSet returns Touched as a set.
+func (r *Report) TouchedSet() map[int]bool {
+	s := make(map[int]bool, len(r.Touched))
+	for _, i := range r.Touched {
+		s[i] = true
+	}
+	return s
+}
+
+// Corrupt damages input in one call and returns the corrupted bytes plus
+// the exact damage report. It is Reader over a bytes.Reader, drained.
+func Corrupt(input []byte, cfg Config) ([]byte, *Report, error) {
+	r := NewReader(bytes.NewReader(input), cfg)
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, r.Report(), nil
+}
+
+// Surviving returns the lines of input the report says were not touched,
+// in original order, with the input's final-newline convention preserved.
+// It is the "clean run over the surviving subset" side of the recovery
+// invariant.
+func Surviving(input []byte, rep *Report) []byte {
+	touched := rep.TouchedSet()
+	var out bytes.Buffer
+	finalNL := len(input) > 0 && input[len(input)-1] == '\n'
+	for i, line := range splitLines(input) {
+		if touched[i] {
+			continue
+		}
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	b := out.Bytes()
+	if !finalNL && len(b) > 0 {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// splitLines splits on '\n' without a trailing empty line.
+func splitLines(input []byte) [][]byte {
+	if len(input) == 0 {
+		return nil
+	}
+	trimmed := input
+	if trimmed[len(trimmed)-1] == '\n' {
+		trimmed = trimmed[:len(trimmed)-1]
+	}
+	return bytes.Split(trimmed, []byte{'\n'})
+}
+
+// wline is one line moving through the corruption window: its bytes, its
+// original line index (-1 for injected lines), and its original byte range.
+type wline struct {
+	data []byte
+	orig int
+	off  int
+}
+
+// Reader wraps an io.Reader and corrupts its line stream on the fly,
+// window by window. Call Report after EOF for the damage record.
+type Reader struct {
+	cfg  Config
+	src  *bufio.Reader
+	rng  *randx.Stream
+	rep  Report
+	out  bytes.Buffer // corrupted bytes ready to serve
+	line int          // next original line index
+	off  int          // byte offset of the next original line
+	eof  bool
+	// finalNL tracks whether the last original line ended in '\n'.
+	finalNL bool
+
+	touched map[int]bool
+	moved   map[int]bool
+}
+
+// NewReader returns a corrupting Reader over r.
+func NewReader(r io.Reader, cfg Config) *Reader {
+	cfg = cfg.withDefaults()
+	return &Reader{
+		cfg:     cfg,
+		src:     bufio.NewReaderSize(r, 64<<10),
+		rng:     randx.Derive(cfg.Seed, "logfuzz"),
+		touched: make(map[int]bool),
+		moved:   make(map[int]bool),
+	}
+}
+
+// Read implements io.Reader.
+func (f *Reader) Read(p []byte) (int, error) {
+	for f.out.Len() == 0 {
+		if f.eof {
+			return 0, io.EOF
+		}
+		if err := f.fillWindow(); err != nil {
+			return 0, err
+		}
+	}
+	return f.out.Read(p)
+}
+
+// Report returns the damage record. Complete only once Read returned EOF.
+func (f *Reader) Report() *Report {
+	rep := f.rep
+	rep.TotalLines = f.line
+	rep.Touched = sortedKeys(f.touched)
+	rep.Moved = sortedKeys(f.moved)
+	sort.Slice(rep.Ranges, func(i, j int) bool { return rep.Ranges[i].Off < rep.Ranges[j].Off })
+	if rep.ByOp == nil {
+		rep.ByOp = map[Op]int{}
+	}
+	return &rep
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fillWindow reads up to WindowLines original lines, corrupts them, and
+// appends the result to the output buffer.
+func (f *Reader) fillWindow() error {
+	var win []wline
+	for len(win) < f.cfg.WindowLines {
+		line, err := f.src.ReadBytes('\n')
+		if len(line) > 0 {
+			f.finalNL = line[len(line)-1] == '\n'
+			data := line
+			if f.finalNL {
+				data = line[:len(line)-1]
+			}
+			win = append(win, wline{data: data, orig: f.line, off: f.off})
+			f.line++
+			f.off += len(line)
+		}
+		if err == io.EOF {
+			f.eof = true
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	out := f.corruptWindow(win)
+	for i, wl := range out {
+		f.out.Write(wl.data)
+		// The very last line of the stream keeps the input's final-newline
+		// convention; every other line is terminated.
+		if !(f.eof && i == len(out)-1 && !f.finalNL) {
+			f.out.WriteByte('\n')
+		}
+	}
+	return nil
+}
+
+// count tallies one op application.
+func (f *Reader) count(op Op) {
+	if f.rep.ByOp == nil {
+		f.rep.ByOp = make(map[Op]int)
+	}
+	f.rep.ByOp[op]++
+}
+
+// damage marks one original line as destroyed and records its byte range.
+func (f *Reader) damage(wl *wline, off, n int) {
+	if wl.orig >= 0 {
+		f.touched[wl.orig] = true
+		if n > 0 {
+			f.rep.Ranges = append(f.rep.Ranges, Range{Off: wl.off + off, Len: n})
+		}
+	}
+}
+
+// destroy guarantees a damaged or injected line cannot parse as a record:
+// while cfg.Parses accepts it, a NUL byte is prepended (which corrupts the
+// leading timestamp field without touching readability of the rest).
+func (f *Reader) destroy(data []byte) []byte {
+	if f.cfg.Parses == nil {
+		return data
+	}
+	for i := 0; i < 4 && f.cfg.Parses(data); i++ {
+		data = append([]byte{0}, data...)
+	}
+	return data
+}
+
+// enabled reports whether op is in the configured repertoire.
+func (f *Reader) enabled(op Op) bool {
+	for _, o := range f.cfg.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// pickOp chooses a per-line op (reorder is handled per window).
+func (f *Reader) pickOp() (Op, bool) {
+	var cand []Op
+	for _, o := range f.cfg.Ops {
+		if o != OpReorder {
+			cand = append(cand, o)
+		}
+	}
+	if len(cand) == 0 {
+		return 0, false
+	}
+	return cand[f.rng.Intn(len(cand))], true
+}
+
+// corruptWindow applies the repertoire to one window of lines.
+func (f *Reader) corruptWindow(win []wline) []wline {
+	if len(win) == 0 {
+		return win
+	}
+	// Phase 1: block reorder of intact lines, once per window.
+	if f.enabled(OpReorder) && len(win) >= 3 && f.rng.Bool(f.cfg.Rate) {
+		m := 2 + f.rng.Intn(min(7, len(win)-1))
+		a := f.rng.Intn(len(win) - m + 1)
+		block := win[a : a+m]
+		f.rng.Shuffle(len(block), func(i, j int) { block[i], block[j] = block[j], block[i] })
+		for _, wl := range block {
+			if wl.orig >= 0 {
+				f.moved[wl.orig] = true
+			}
+		}
+		f.count(OpReorder)
+	}
+
+	// Phase 2: per-line damage and insertion.
+	out := make([]wline, 0, len(win)+4)
+	for i := 0; i < len(win); i++ {
+		wl := win[i]
+		if !f.rng.Bool(f.cfg.Rate) {
+			out = append(out, wl)
+			continue
+		}
+		op, ok := f.pickOp()
+		if !ok {
+			out = append(out, wl)
+			continue
+		}
+		switch op {
+		case OpTruncate:
+			if len(wl.data) < 2 {
+				out = append(out, wl)
+				continue
+			}
+			cut := 1 + f.rng.Intn(len(wl.data)-1)
+			f.damage(&wl, cut, len(wl.data)-cut)
+			wl.data = f.destroy(append([]byte(nil), wl.data[:cut]...))
+			out = append(out, wl)
+			f.count(op)
+		case OpSplit:
+			if len(wl.data) < 2 {
+				out = append(out, wl)
+				continue
+			}
+			at := 1 + f.rng.Intn(len(wl.data)-1)
+			f.damage(&wl, 0, len(wl.data))
+			first := f.destroy(append([]byte(nil), wl.data[:at]...))
+			second := f.destroy(append([]byte(nil), wl.data[at:]...))
+			out = append(out,
+				wline{data: first, orig: wl.orig, off: wl.off},
+				wline{data: second, orig: -1})
+			f.count(op)
+		case OpMerge:
+			if i+1 >= len(win) {
+				out = append(out, wl)
+				continue
+			}
+			next := win[i+1]
+			i++
+			f.damage(&wl, 0, len(wl.data))
+			f.damage(&next, 0, len(next.data))
+			merged := make([]byte, 0, len(wl.data)+len(next.data))
+			merged = append(merged, wl.data...)
+			merged = append(merged, next.data...)
+			out = append(out, wline{data: f.destroy(merged), orig: wl.orig, off: wl.off})
+			f.count(op)
+		case OpBitFlip:
+			if len(wl.data) == 0 {
+				out = append(out, wl)
+				continue
+			}
+			data := append([]byte(nil), wl.data...)
+			flips := 1 + f.rng.Intn(3)
+			for k := 0; k < flips; k++ {
+				pos := f.rng.Intn(len(data))
+				data[pos] ^= 1 << f.rng.Intn(8)
+				f.damage(&wl, pos, 1)
+			}
+			wl.data = f.destroy(data)
+			out = append(out, wl)
+			f.count(op)
+		case OpDupChunk:
+			out = append(out, wl)
+			// Mangled duplicates of up to 3 recent lines, like a torn
+			// re-flush of an already-written buffer.
+			k := 1 + f.rng.Intn(3)
+			if k > len(out) {
+				k = len(out)
+			}
+			for _, src := range out[len(out)-k:] {
+				dup := append([]byte{0}, src.data...)
+				f.rep.Inserted++
+				out = append(out, wline{data: f.destroy(dup), orig: -1})
+			}
+			f.count(op)
+		case OpGarbage:
+			out = append(out, wl)
+			n := 1 + f.rng.Intn(3)
+			for k := 0; k < n; k++ {
+				g := make([]byte, 8+f.rng.Intn(120))
+				for b := range g {
+					c := byte(f.rng.Intn(256))
+					if c == '\n' {
+						c = 0xFE
+					}
+					g[b] = c
+				}
+				f.rep.Inserted++
+				out = append(out, wline{data: f.destroy(g), orig: -1})
+			}
+			f.count(op)
+		case OpOversize:
+			out = append(out, wl)
+			big := bytes.Repeat([]byte("OVERSIZE"), f.cfg.OversizeBytes/8+1)
+			f.rep.Inserted++
+			out = append(out, wline{data: big, orig: -1})
+			f.count(op)
+		default:
+			out = append(out, wl)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

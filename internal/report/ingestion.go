@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/syslog"
+)
+
+// WriteIngestion renders the lenient Stage I ingestion report: scan totals,
+// per-category corrupt-line counts, budget status, and the quarantined
+// samples. It writes nothing for strict runs (no report).
+func WriteIngestion(w io.Writer, res *core.Results) error {
+	rep := res.Ingestion
+	if rep == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w,
+		"=== Ingestion report (lenient Stage I) ===\n"+
+			"lines scanned      %d\n"+
+			"records extracted  %d\n"+
+			"noise skipped      %d\n"+
+			"bad lines          %d (%.3f%%)\n",
+		rep.Lines, rep.Records, rep.Noise, rep.BadTotal, 100*rep.BadFrac()); err != nil {
+		return err
+	}
+	for c := 0; c < syslog.NumLineClasses; c++ {
+		class := syslog.LineClass(c)
+		if _, err := fmt.Fprintf(w, "  %-22s %d\n", class, rep.Bad[c]); err != nil {
+			return err
+		}
+	}
+	budget := "within budget"
+	if rep.Budget.Exceeded {
+		budget = fmt.Sprintf("EXCEEDED (dominant category: %s)", rep.Budget.Dominant)
+	}
+	limit := func(kind string, v string, unlimited bool) string {
+		if unlimited {
+			return kind + " unlimited"
+		}
+		return kind + " " + v
+	}
+	if _, err := fmt.Fprintf(w, "error budget       %s (%s, %s)\n",
+		budget,
+		limit("max lines", fmt.Sprintf("%d", rep.Budget.MaxBadLines), rep.Budget.MaxBadLines <= 0),
+		limit("max fraction", fmt.Sprintf("%.2f%%", 100*rep.Budget.MaxBadFrac), rep.Budget.MaxBadFrac <= 0),
+	); err != nil {
+		return err
+	}
+	if len(rep.Quarantine) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "quarantine (bounded sample):"); err != nil {
+		return err
+	}
+	for _, q := range rep.Quarantine {
+		if _, err := fmt.Fprintf(w, "  line %-9d [%s] %q\n", q.Line, q.Class, q.Sample); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package syslog_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gpuresilience/internal/logfuzz"
+	"gpuresilience/internal/syslog"
+	"gpuresilience/internal/xid"
+)
+
+// fuzzSeeds returns corpus inputs for the extractor fuzz targets: clean
+// formatted logs plus deterministic fuzzer-damaged variants of them, so the
+// mutator starts from realistic corruption shapes rather than raw noise.
+func fuzzSeeds(f *testing.F) [][]byte {
+	var clean bytes.Buffer
+	for i := 0; i < 50; i++ {
+		clean.WriteString(record(i))
+		clean.WriteByte('\n')
+		if i%7 == 0 {
+			clean.WriteString(syslog.FormatNoise(at, "gpub002", i))
+			clean.WriteByte('\n')
+		}
+	}
+	seeds := [][]byte{
+		nil,
+		[]byte("\n"),
+		[]byte("no newline at end"),
+		clean.Bytes(),
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		damaged, _, err := logfuzz.Corrupt(clean.Bytes(), logfuzz.Config{
+			Seed: seed, Rate: 0.2, OversizeBytes: 8 << 10,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, damaged)
+	}
+	return seeds
+}
+
+// fuzzMaxInput caps fuzz inputs: classification behavior does not depend on
+// input size past a few chunks, and unbounded inputs just slow the engine.
+const fuzzMaxInput = 1 << 20
+
+// FuzzExtract feeds arbitrary bytes through both strict extraction paths:
+// neither may panic, and when both succeed they must agree exactly.
+func FuzzExtract(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzMaxInput {
+			return
+		}
+		var seq, par []xid.Event
+		stSeq, errSeq := syslog.Extract(bytes.NewReader(data), func(ev xid.Event) error {
+			seq = append(seq, ev)
+			return nil
+		})
+		stPar, errPar := syslog.ExtractParallel(bytes.NewReader(data), 4, func(ev xid.Event) error {
+			par = append(par, ev)
+			return nil
+		})
+		if (errSeq == nil) != (errPar == nil) {
+			t.Fatalf("strict paths disagree on failure: seq=%v par=%v", errSeq, errPar)
+		}
+		if errSeq == nil {
+			if stSeq != stPar {
+				t.Fatalf("stats diverge: %+v vs %+v", stSeq, stPar)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("events diverge: %d vs %d", len(seq), len(par))
+			}
+		}
+	})
+}
+
+// FuzzExtractParallel feeds arbitrary bytes through the lenient extractor at
+// several worker counts: no panics, no budget surprises (budgets unlimited),
+// and the ingestion report plus recovered events must be identical on the
+// sequential and sharded paths.
+func FuzzExtractParallel(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	opt := syslog.LenientOptions{MaxLineBytes: 64 << 10}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzMaxInput {
+			return
+		}
+		var seq []xid.Event
+		repSeq, err := syslog.ExtractLenient(bytes.NewReader(data), opt, func(ev xid.Event) error {
+			seq = append(seq, ev)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("lenient sequential failed (budgets unlimited): %v", err)
+		}
+		for _, workers := range []int{2, 5} {
+			var par []xid.Event
+			repPar, err := syslog.ExtractLenientParallel(bytes.NewReader(data), workers, opt, func(ev xid.Event) error {
+				par = append(par, ev)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("lenient workers=%d failed: %v", workers, err)
+			}
+			if !reflect.DeepEqual(repSeq, repPar) {
+				t.Fatalf("workers=%d: reports diverge:\n%+v\nvs\n%+v", workers, repSeq, repPar)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("workers=%d: events diverge: %d vs %d", workers, len(seq), len(par))
+			}
+		}
+		if repSeq.Records+repSeq.Noise+repSeq.BadTotal != repSeq.Lines {
+			t.Fatalf("line accounting broken: %+v", repSeq)
+		}
+	})
+}

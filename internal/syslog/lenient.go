@@ -1,0 +1,448 @@
+package syslog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"unicode/utf8"
+
+	"gpuresilience/internal/xid"
+)
+
+// LineClass is the corruption taxonomy of lenient Stage I: every line that
+// looks like an Xid record but cannot be parsed — or cannot be read at all —
+// lands in exactly one class. Lines that do not look like Xid records and
+// read cleanly are noise, not corruption (the extractor cannot tell damaged
+// foreign lines from ordinary kernel chatter).
+type LineClass int
+
+const (
+	// ClassBadTimestamp: the Xid shape matched but the timestamp field does
+	// not parse as the consolidated-log layout.
+	ClassBadTimestamp LineClass = iota
+	// ClassBadPCIAddr: the PCI address is not a known GPU slot and not a
+	// well-formed synthetic address.
+	ClassBadPCIAddr
+	// ClassBadXIDCode: the code field is not an integer in [0, maxXIDCode].
+	ClassBadXIDCode
+	// ClassOverlong: the physical line exceeds the line-length ceiling; the
+	// excess bytes are discarded up to the next newline.
+	ClassOverlong
+	// ClassNonUTF8: the line is not valid UTF-8 — binary garbage from a torn
+	// or interleaved write, not a log line at all.
+	ClassNonUTF8
+
+	// NumLineClasses sizes per-class count arrays.
+	NumLineClasses = int(ClassNonUTF8) + 1
+)
+
+// String returns the human-readable category label used in reports.
+func (c LineClass) String() string {
+	switch c {
+	case ClassBadTimestamp:
+		return "unparseable timestamp"
+	case ClassBadPCIAddr:
+		return "unknown PCI address"
+	case ClassBadXIDCode:
+		return "out-of-range XID code"
+	case ClassOverlong:
+		return "overlong line"
+	case ClassNonUTF8:
+		return "non-UTF-8 bytes"
+	default:
+		return fmt.Sprintf("LineClass(%d)", int(c))
+	}
+}
+
+// ParseError is the typed field-parse failure ParseLine returns for lines
+// that match the Xid shape but carry a corrupt field.
+type ParseError struct {
+	Class LineClass
+	msg   string
+	cause error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	if e.cause != nil {
+		return e.msg + ": " + e.cause.Error()
+	}
+	return e.msg
+}
+
+// Unwrap exposes the underlying parse failure, when any.
+func (e *ParseError) Unwrap() error { return e.cause }
+
+// Lenient-mode sizing defaults.
+const (
+	// defaultQuarantinePerClass bounds the sidecar sample per category.
+	defaultQuarantinePerClass = 4
+	// quarantineSampleBytes truncates each quarantined line sample.
+	quarantineSampleBytes = 160
+)
+
+// LenientOptions configures corruption-tolerant extraction. The zero value
+// means: no error budget (never fail on content), default quarantine bound,
+// default line-length ceiling (MaxLineBytes).
+type LenientOptions struct {
+	// MaxBadLines is the absolute error budget: once more than this many
+	// lines have been classified as corrupt, extraction fails fast with a
+	// *BudgetError. 0 disables the absolute budget.
+	MaxBadLines int
+	// MaxBadFrac is the fractional error budget, evaluated over the whole
+	// stream at EOF (a running fraction is not monotone, so checking it
+	// mid-stream would make the outcome depend on chunking). 0 disables it.
+	MaxBadFrac float64
+	// QuarantinePerClass bounds how many sample lines are retained per
+	// corruption category (first-seen order). 0 means the default (4).
+	QuarantinePerClass int
+	// MaxLineBytes overrides the line-length ceiling, mainly for tests.
+	// 0 means MaxLineBytes (4 MiB); values below 4 KiB are raised to 4 KiB
+	// so overlong-line quarantine samples are identical on the sequential
+	// and chunked paths.
+	MaxLineBytes int
+}
+
+// minLineCeiling is the smallest accepted MaxLineBytes override. It must
+// exceed quarantineSampleBytes by enough that every path has the full
+// sample in hand when it detects an overlong line.
+const minLineCeiling = 4 << 10
+
+// withDefaults resolves zero fields to their effective values.
+func (o LenientOptions) withDefaults() LenientOptions {
+	if o.QuarantinePerClass <= 0 {
+		o.QuarantinePerClass = defaultQuarantinePerClass
+	}
+	if o.MaxLineBytes <= 0 {
+		o.MaxLineBytes = MaxLineBytes
+	}
+	if o.MaxLineBytes < minLineCeiling {
+		o.MaxLineBytes = minLineCeiling
+	}
+	return o
+}
+
+// Quarantined is one corrupt line retained as evidence: its 1-based line
+// number in the stream, its category, and a truncated sample of its bytes.
+type Quarantined struct {
+	Line   int
+	Class  LineClass
+	Sample string
+}
+
+// BudgetStatus records the error-budget configuration and outcome inside an
+// IngestionReport.
+type BudgetStatus struct {
+	MaxBadLines int
+	MaxBadFrac  float64
+	// Exceeded is true when the run failed on a budget; Dominant then names
+	// the corruption category with the highest count.
+	Exceeded bool
+	Dominant LineClass
+}
+
+// IngestionReport is the structured outcome of a lenient Stage I run: what
+// was scanned, what was recovered, and what was quarantined. On a nil-error
+// run the report is identical at any worker count; after a budget or
+// callback failure it reflects the state at the abort point, which is
+// chunking-dependent.
+type IngestionReport struct {
+	// Lines is the total number of physical lines scanned (overlong lines
+	// count once).
+	Lines int
+	// Records is how many Xid records were extracted.
+	Records int
+	// Noise is how many well-formed non-Xid lines were skipped.
+	Noise int
+	// Bad counts corrupt lines per category, indexed by LineClass.
+	Bad [NumLineClasses]int
+	// BadTotal is the sum over Bad.
+	BadTotal int
+	// Quarantine holds up to QuarantinePerClass samples per category, in
+	// stream order.
+	Quarantine []Quarantined
+	Budget     BudgetStatus
+}
+
+// BadFrac returns the corrupt-line fraction of the scanned stream.
+func (r *IngestionReport) BadFrac() float64 {
+	if r.Lines == 0 {
+		return 0
+	}
+	return float64(r.BadTotal) / float64(r.Lines)
+}
+
+// Dominant returns the corruption category with the highest count and that
+// count (ties break toward the lower class). The count is 0 on a clean run.
+func (r *IngestionReport) Dominant() (LineClass, int) {
+	best, n := ClassBadTimestamp, r.Bad[ClassBadTimestamp]
+	for c := 1; c < NumLineClasses; c++ {
+		if r.Bad[c] > n {
+			best, n = LineClass(c), r.Bad[c]
+		}
+	}
+	return best, n
+}
+
+// BudgetKind distinguishes the two error budgets.
+type BudgetKind int
+
+const (
+	// BudgetLines is the absolute bad-line budget (fails fast mid-stream).
+	BudgetLines BudgetKind = iota
+	// BudgetFraction is the whole-stream bad-fraction budget (checked at EOF).
+	BudgetFraction
+)
+
+// String names the budget kind.
+func (k BudgetKind) String() string {
+	if k == BudgetFraction {
+		return "fraction"
+	}
+	return "lines"
+}
+
+// BudgetError reports a log too corrupt to trust: one of the error budgets
+// was exceeded. It names the dominant corruption category so the caller can
+// tell a truncated transfer (overlong/non-UTF-8) from clock damage.
+type BudgetError struct {
+	Kind     BudgetKind
+	BadTotal int
+	Lines    int
+	Limit    float64 // MaxBadLines or MaxBadFrac, depending on Kind
+	Dominant LineClass
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	switch e.Kind {
+	case BudgetFraction:
+		return fmt.Sprintf(
+			"syslog: log too corrupt: %d of %d lines bad (%.2f%% > budget %.2f%%), dominant category: %s",
+			e.BadTotal, e.Lines, 100*float64(e.BadTotal)/float64(e.Lines), 100*e.Limit, e.Dominant)
+	default:
+		return fmt.Sprintf(
+			"syslog: log too corrupt: %d bad lines exceed budget of %d, dominant category: %s",
+			e.BadTotal, int(e.Limit), e.Dominant)
+	}
+}
+
+// lineKind is the three-way outcome of classifying one line.
+type lineKind int
+
+const (
+	lineRecord lineKind = iota
+	lineNoise
+	lineBad
+)
+
+// classifyLine classifies one complete (not overlong) line. Order matters
+// and is identical on the sequential and chunked paths: parse first — a
+// well-shaped record is accepted even if its free-text detail carries
+// damaged bytes — then flag unreadable non-matching lines as non-UTF-8,
+// and only then fall through to noise.
+func classifyLine(line string) (xid.Event, LineClass, lineKind) {
+	ev, ok, err := ParseLine(line)
+	if err != nil {
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			return xid.Event{}, pe.Class, lineBad
+		}
+		return xid.Event{}, ClassBadTimestamp, lineBad
+	}
+	if ok {
+		return ev, 0, lineRecord
+	}
+	if !utf8.ValidString(line) {
+		return xid.Event{}, ClassNonUTF8, lineBad
+	}
+	return xid.Event{}, 0, lineNoise
+}
+
+// sampleOf truncates a corrupt line to its quarantine sample.
+func sampleOf(line []byte) string {
+	return string(truncateSample(line))
+}
+
+// truncateSample bounds a line to the quarantine sample size.
+func truncateSample(line []byte) []byte {
+	if len(line) > quarantineSampleBytes {
+		line = line[:quarantineSampleBytes]
+	}
+	return line
+}
+
+// trimCR drops one trailing carriage return, mirroring bufio.ScanLines so
+// CR-LF logs classify identically on every path.
+func trimCR(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		return line[:n-1]
+	}
+	return line
+}
+
+// reportState accumulates an IngestionReport plus the per-class quarantine
+// fill levels (which are not part of the report itself).
+type reportState struct {
+	rep IngestionReport
+	qn  [NumLineClasses]int
+	opt LenientOptions
+}
+
+func newReportState(opt LenientOptions) *reportState {
+	return &reportState{
+		rep: IngestionReport{Budget: BudgetStatus{
+			MaxBadLines: opt.MaxBadLines,
+			MaxBadFrac:  opt.MaxBadFrac,
+		}},
+		opt: opt,
+	}
+}
+
+// bad records one corrupt line (1-based line number) and returns a
+// *BudgetError when the absolute budget is now exceeded.
+func (s *reportState) bad(class LineClass, line int, sample string) error {
+	s.record(class, line, sample)
+	return s.checkAbs()
+}
+
+// record counts and quarantines one corrupt line without a budget check —
+// the chunked path records per worker but budgets only at the ordered
+// fan-in, so the decision is identical at any worker count.
+func (s *reportState) record(class LineClass, line int, sample string) {
+	s.rep.Bad[class]++
+	s.rep.BadTotal++
+	if s.qn[class] < s.opt.QuarantinePerClass {
+		s.qn[class]++
+		s.rep.Quarantine = append(s.rep.Quarantine, Quarantined{
+			Line: line, Class: class, Sample: sample,
+		})
+	}
+}
+
+// checkAbs enforces the absolute bad-line budget.
+func (s *reportState) checkAbs() error {
+	if s.opt.MaxBadLines > 0 && s.rep.BadTotal > s.opt.MaxBadLines {
+		return s.fail(BudgetLines)
+	}
+	return nil
+}
+
+// fail marks the budget as exceeded and builds the typed error.
+func (s *reportState) fail(kind BudgetKind) error {
+	dom, _ := s.rep.Dominant()
+	s.rep.Budget.Exceeded = true
+	s.rep.Budget.Dominant = dom
+	limit := float64(s.opt.MaxBadLines)
+	if kind == BudgetFraction {
+		limit = s.opt.MaxBadFrac
+	}
+	return &BudgetError{
+		Kind:     kind,
+		BadTotal: s.rep.BadTotal,
+		Lines:    s.rep.Lines,
+		Limit:    limit,
+		Dominant: dom,
+	}
+}
+
+// finish runs the EOF-time fractional budget check.
+func (s *reportState) finish() error {
+	if s.opt.MaxBadFrac > 0 && s.rep.BadFrac() > s.opt.MaxBadFrac {
+		return s.fail(BudgetFraction)
+	}
+	return nil
+}
+
+// ExtractLenient is the corruption-tolerant Stage I (sequential path):
+// instead of treating a damaged line as fatal, it classifies the damage
+// (LineClass), quarantines a bounded sample, and keeps scanning — until an
+// error budget says the log as a whole cannot be trusted. On a nil-error
+// run the report equals ExtractLenientParallel's at any worker count.
+//
+// The returned report is always non-nil, including alongside an error.
+func ExtractLenient(r io.Reader, opt LenientOptions, fn func(xid.Event) error) (*IngestionReport, error) {
+	opt = opt.withDefaults()
+	st := newReportState(opt)
+	br := bufio.NewReaderSize(r, scanBufBytes)
+	for {
+		line, overlong, err := readLenientLine(br, opt.MaxLineBytes)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return &st.rep, fmt.Errorf("syslog: read failed at line %d: %w", st.rep.Lines+1, err)
+		}
+		st.rep.Lines++
+		if overlong {
+			if berr := st.bad(ClassOverlong, st.rep.Lines, sampleOf(line)); berr != nil {
+				return &st.rep, berr
+			}
+			continue
+		}
+		line = trimCR(line)
+		ev, class, kind := classifyLine(string(line))
+		switch kind {
+		case lineRecord:
+			st.rep.Records++
+			if err := fn(ev); err != nil {
+				return &st.rep, err
+			}
+		case lineNoise:
+			st.rep.Noise++
+		case lineBad:
+			if berr := st.bad(class, st.rep.Lines, sampleOf(line)); berr != nil {
+				return &st.rep, berr
+			}
+		}
+	}
+	if err := st.finish(); err != nil {
+		return &st.rep, err
+	}
+	return &st.rep, nil
+}
+
+// readLenientLine returns the next physical line (newline stripped). When
+// the line exceeds max bytes it reports overlong=true, returns only the
+// leading sample-sized prefix, and discards the rest of the line so the
+// scan can continue — the recovery move the strict scanner refuses to make.
+// err is io.EOF once the stream is exhausted.
+func readLenientLine(br *bufio.Reader, max int) (line []byte, overlong bool, err error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		switch err {
+		case nil, io.EOF:
+			complete := len(buf) > 0 && buf[len(buf)-1] == '\n'
+			if complete {
+				buf = buf[:len(buf)-1]
+			}
+			if err == io.EOF && len(buf) == 0 && !complete {
+				return nil, false, io.EOF
+			}
+			if len(buf) > max {
+				return truncateSample(buf), true, nil
+			}
+			return buf, false, nil
+		case bufio.ErrBufferFull:
+			if len(buf) > max {
+				// Already past the ceiling: discard the rest of the line.
+				sample := truncateSample(buf)
+				for {
+					switch _, err := br.ReadSlice('\n'); err {
+					case nil, io.EOF:
+						return sample, true, nil
+					case bufio.ErrBufferFull:
+						// keep discarding
+					default:
+						return nil, false, err
+					}
+				}
+			}
+		default:
+			return nil, false, err
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package syslog
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"gpuresilience/internal/parallel"
+	"gpuresilience/internal/xid"
+)
+
+// lenChunk is one unit of work for the lenient sharded extractor: a
+// line-aligned byte range plus the samples of any overlong lines the chunk
+// reader discarded immediately before it (stream order: pre, then data).
+type lenChunk struct {
+	pre  []string // quarantine samples of discarded overlong lines
+	data []byte
+}
+
+// lenChunkResult is one worker's classification of its chunk. Quarantine
+// line numbers are chunk-local (1-based); the fan-in offsets them into
+// stream coordinates. Records stays 0 here — the fan-in counts records as
+// it delivers events, exactly like the sequential path.
+type lenChunkResult struct {
+	events []xid.Event
+	part   IngestionReport
+}
+
+// ExtractLenientParallel is the corruption-tolerant Stage I on the sharded
+// path: line-aligned ~1 MiB chunks are classified concurrently with exactly
+// the per-line rules of ExtractLenient (including at chunk boundaries), and
+// the ordered fan-in merges counts, offsets quarantine line numbers, and
+// enforces the error budgets deterministically. On a nil-error run, report
+// and event stream are identical to the sequential path at any worker
+// count; whether a budget fails — and the dominant category it names — is
+// also worker-count-invariant, though the counts inside a failing report
+// reflect the abort point.
+func ExtractLenientParallel(r io.Reader, workers int, opt LenientOptions, fn func(xid.Event) error) (*IngestionReport, error) {
+	opt = opt.withDefaults()
+	workers = parallel.Resolve(workers)
+	if workers <= 1 {
+		return ExtractLenient(r, opt, fn)
+	}
+	pool := parallel.NewOrdered(workers, 2*workers, func(c lenChunk) (lenChunkResult, error) {
+		return parseChunkLenient(c, opt), nil
+	})
+
+	readErr := make(chan error, 1)
+	go func() {
+		defer pool.CloseSubmit()
+		readErr <- readChunksLenient(r, opt.MaxLineBytes, pool.Submit)
+	}()
+
+	st := newReportState(opt)
+	var stopErr error
+	for {
+		out, ok, _ := pool.Next()
+		if !ok {
+			break
+		}
+		if stopErr != nil {
+			continue // draining after a failure
+		}
+		base := st.rep.Lines
+		st.rep.Lines += out.part.Lines
+		st.rep.Noise += out.part.Noise
+		for _, q := range out.part.Quarantine {
+			q.Line += base
+			if st.qn[q.Class] < opt.QuarantinePerClass {
+				st.qn[q.Class]++
+				st.rep.Quarantine = append(st.rep.Quarantine, q)
+			}
+		}
+		for c := 0; c < NumLineClasses; c++ {
+			st.rep.Bad[c] += out.part.Bad[c]
+		}
+		st.rep.BadTotal += out.part.BadTotal
+		for _, ev := range out.events {
+			st.rep.Records++
+			if err := fn(ev); err != nil {
+				stopErr = err
+				pool.Abort()
+				break
+			}
+		}
+		if stopErr == nil {
+			if err := st.checkAbs(); err != nil {
+				stopErr = err
+				pool.Abort()
+			}
+		}
+	}
+	if stopErr != nil {
+		return &st.rep, stopErr
+	}
+	if err := <-readErr; err != nil {
+		return &st.rep, err
+	}
+	if err := st.finish(); err != nil {
+		return &st.rep, err
+	}
+	return &st.rep, nil
+}
+
+// parseChunkLenient classifies one chunk with the sequential path's
+// per-line rules. Overlong lines inside the chunk (possible when the
+// ceiling is below the chunk size, or for the carried-over first line) are
+// classified like the chunk reader's discarded ones.
+func parseChunkLenient(c lenChunk, opt LenientOptions) lenChunkResult {
+	st := newReportState(opt)
+	var out lenChunkResult
+	for _, sample := range c.pre {
+		st.rep.Lines++
+		st.record(ClassOverlong, st.rep.Lines, sample)
+	}
+	chunk := c.data
+	for len(chunk) > 0 {
+		var line []byte
+		if idx := bytes.IndexByte(chunk, '\n'); idx >= 0 {
+			line, chunk = chunk[:idx], chunk[idx+1:]
+		} else {
+			line, chunk = chunk, nil
+		}
+		st.rep.Lines++
+		if len(line) > opt.MaxLineBytes {
+			st.record(ClassOverlong, st.rep.Lines, sampleOf(line))
+			continue
+		}
+		line = trimCR(line)
+		ev, class, kind := classifyLine(string(line))
+		switch kind {
+		case lineRecord:
+			out.events = append(out.events, ev)
+		case lineNoise:
+			st.rep.Noise++
+		case lineBad:
+			st.record(class, st.rep.Lines, sampleOf(line))
+		}
+	}
+	out.part = st.rep
+	return out
+}
+
+// readChunksLenient reads r into line-aligned chunks like readChunks, but
+// survives overlong lines: when the carried-over tail outgrows the line
+// ceiling without a newline, the line's leading sample is retained, the
+// rest is discarded up to the next newline, and the overlong line rides
+// along as the next chunk's pre entry — keeping stream order exact. emit
+// reports false when the consumer aborted.
+func readChunksLenient(r io.Reader, max int, emit func(lenChunk) bool) error {
+	var (
+		leftover   []byte
+		pre        []string
+		sample     string
+		discarding bool
+		lines      int // complete lines consumed, for read-error context
+	)
+	for {
+		buf := make([]byte, defaultChunkBytes)
+		n, rerr := io.ReadFull(r, buf)
+		data := buf[:n]
+		eof := rerr == io.EOF || rerr == io.ErrUnexpectedEOF
+		if rerr != nil && !eof {
+			return fmt.Errorf("syslog: read failed at line %d: %w", lines+1, rerr)
+		}
+		for len(data) > 0 {
+			if discarding {
+				idx := bytes.IndexByte(data, '\n')
+				if idx < 0 {
+					data = nil
+					break
+				}
+				pre = append(pre, sample)
+				lines++
+				discarding = false
+				data = data[idx+1:]
+				continue
+			}
+			idx := bytes.LastIndexByte(data, '\n')
+			if idx < 0 {
+				leftover = append(leftover, data...)
+				data = nil
+			} else {
+				chunk := make([]byte, 0, len(leftover)+idx+1)
+				chunk = append(chunk, leftover...)
+				chunk = append(chunk, data[:idx+1]...)
+				leftover = leftover[:0]
+				tail := data[idx+1:]
+				data = nil
+				lines += bytes.Count(chunk, []byte{'\n'})
+				if !emit(lenChunk{pre: pre, data: chunk}) {
+					return nil
+				}
+				pre = nil
+				leftover = append(leftover, tail...)
+			}
+			if len(leftover) > max {
+				sample = sampleOf(leftover)
+				leftover = leftover[:0]
+				discarding = true
+			}
+		}
+		if eof {
+			if discarding {
+				// Unterminated overlong final line.
+				pre = append(pre, sample)
+			}
+			if len(leftover) > 0 || len(pre) > 0 {
+				emit(lenChunk{pre: pre, data: append([]byte(nil), leftover...)})
+			}
+			return nil
+		}
+	}
+}

@@ -37,6 +37,13 @@ func PCIAddr(i int) string {
 	return fmt.Sprintf("0001:%02X:00", i&0xff)
 }
 
+// syntheticPCIRE is the exact shape of PCIAddr's synthetic fallback
+// addresses: domain 0001, a two-digit hex device, function 00. Anything
+// looser (short widths, trailing garbage) is a corrupt address, not data —
+// fmt.Sscanf would accept both, so the inverse mapping validates the full
+// shape before parsing the device byte.
+var syntheticPCIRE = regexp.MustCompile(`^0001:([0-9A-Fa-f]{2}):00$`)
+
 // GPUIndex inverts PCIAddr. The boolean is false for unknown addresses.
 func GPUIndex(addr string) (int, bool) {
 	for i := range pciBases {
@@ -44,9 +51,12 @@ func GPUIndex(addr string) (int, bool) {
 			return i, true
 		}
 	}
-	var bus int
-	if _, err := fmt.Sscanf(addr, "0001:%02X:00", &bus); err == nil {
-		return bus, true
+	if m := syntheticPCIRE.FindStringSubmatch(addr); m != nil {
+		bus, err := strconv.ParseUint(m[1], 16, 8)
+		if err != nil {
+			return 0, false
+		}
+		return int(bus), true
 	}
 	return 0, false
 }
@@ -55,9 +65,11 @@ func GPUIndex(addr string) (int, bool) {
 const timeLayout = "2006-01-02T15:04:05.000000Z"
 
 // FormatLine renders one raw Xid log line. pid and procName are cosmetic —
-// the extractor ignores them, like the study's regex does.
+// the extractor ignores them, like the study's regex does. Both newlines and
+// lone carriage returns are stripped from the detail: a bare \r survives
+// fmt unscathed but splits the record under CR-aware line readers.
 func FormatLine(ev xid.Event, pid int, procName string) string {
-	detail := strings.NewReplacer("\n", " ").Replace(ev.Detail)
+	detail := strings.NewReplacer("\n", " ", "\r", " ").Replace(ev.Detail)
 	return fmt.Sprintf("%s %s kernel: NVRM: Xid (PCI:%s): %d, pid=%d, name=%s, %s",
 		ev.Time.UTC().Format(timeLayout), ev.Node, PCIAddr(ev.GPU), int(ev.Code),
 		pid, procName, detail)
@@ -247,8 +259,14 @@ func scanError(err error, scanned int) error {
 	return fmt.Errorf("syslog: read failed at line %d: %w", scanned+1, err)
 }
 
+// maxXIDCode bounds the accepted XID code. The driver's code table tops out
+// in the low hundreds; a larger number in an otherwise well-shaped line is a
+// corrupted digit string, not a new error class.
+const maxXIDCode = 1023
+
 // ParseLine parses one raw line. ok is false for non-Xid lines; err is
-// non-nil for lines that match the Xid shape but have unparseable fields.
+// non-nil for lines that match the Xid shape but have unparseable fields —
+// always a *ParseError carrying the corruption category (see LineClass).
 func ParseLine(line string) (ev xid.Event, ok bool, err error) {
 	m := xidLineRE.FindStringSubmatch(line)
 	if m == nil {
@@ -256,15 +274,26 @@ func ParseLine(line string) (ev xid.Event, ok bool, err error) {
 	}
 	ts, err := time.Parse(timeLayout, m[1])
 	if err != nil {
-		return xid.Event{}, false, fmt.Errorf("syslog: bad timestamp %q: %w", m[1], err)
+		return xid.Event{}, false, &ParseError{
+			Class: ClassBadTimestamp,
+			msg:   fmt.Sprintf("syslog: bad timestamp %q", m[1]),
+			cause: err,
+		}
 	}
 	gpu, found := GPUIndex(m[3])
 	if !found {
-		return xid.Event{}, false, fmt.Errorf("syslog: unknown PCI address %q", m[3])
+		return xid.Event{}, false, &ParseError{
+			Class: ClassBadPCIAddr,
+			msg:   fmt.Sprintf("syslog: unknown PCI address %q", m[3]),
+		}
 	}
 	code, err := strconv.Atoi(m[4])
-	if err != nil {
-		return xid.Event{}, false, fmt.Errorf("syslog: bad code %q: %w", m[4], err)
+	if err != nil || code > maxXIDCode {
+		return xid.Event{}, false, &ParseError{
+			Class: ClassBadXIDCode,
+			msg:   fmt.Sprintf("syslog: bad code %q", m[4]),
+			cause: err,
+		}
 	}
 	return xid.Event{
 		Time:   ts,
