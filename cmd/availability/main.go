@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	availability -repairs FILE [-logs FILE]
-//	availability -data DIR
+//	availability -repairs FILE [-logs FILE] [-workers N]
+//	             [-lenient] [-max-bad-lines N] [-max-bad-frac F]
+//	             [-metrics] [-metrics-json FILE] [-pprof ADDR]
+//	availability -data DIR [same flags]
 package main
 
 import (
@@ -14,13 +16,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gpuresilience/internal/avail"
 	"gpuresilience/internal/calib"
+	"gpuresilience/internal/cliflags"
 	"gpuresilience/internal/cluster"
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/dataset"
+	"gpuresilience/internal/obs"
 	"gpuresilience/internal/stats"
 	"gpuresilience/internal/workload"
 )
@@ -38,10 +43,18 @@ func run(args []string, stdout io.Writer) error {
 		repairsPath = fs.String("repairs", "", "node repair log")
 		logsPath    = fs.String("logs", "", "raw system log for the MTTF estimate")
 		dataDir     = fs.String("data", "", "dataset directory (verifies the manifest, uses its files)")
+		workers     = cliflags.Workers(fs)
+		lenient     = cliflags.Lenient(fs)
+		obsFl       = cliflags.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	_, stopPprof, err := obsFl.StartPprof()
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
 	if *dataDir != "" {
 		m, err := dataset.Verify(*dataDir)
 		if err != nil {
@@ -63,14 +76,24 @@ func run(args []string, stdout io.Writer) error {
 	if *repairsPath == "" {
 		return fmt.Errorf("-repairs or -data is required")
 	}
+	man := obsFl.Manifest("availability", *workers)
 	rf, err := os.Open(*repairsPath)
 	if err != nil {
 		return err
 	}
 	defer rf.Close()
-	downtimes, err := cluster.ReadDowntimes(rf)
+	var repairSrc io.Reader = rf
+	var repairHash *obs.HashingReader
+	if man != nil {
+		repairHash = obs.NewHashingReader(rf)
+		repairSrc = repairHash
+	}
+	downtimes, err := cluster.ReadDowntimes(repairSrc)
 	if err != nil {
 		return err
+	}
+	if repairHash != nil {
+		man.AddFile(filepath.Base(*repairsPath), repairHash.Digest())
 	}
 
 	errorCount := 0
@@ -81,15 +104,33 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer lf.Close()
 		cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
-		res, err := core.AnalyzeLogs(lf, nil, nil, workload.CPURecord{}, cfg)
+		cfg.Workers = *workers
+		lenient.Apply(&cfg)
+		cfg.Obs = obsFl.Registry()
+		if man != nil {
+			man.Pipeline = cfg
+		}
+		var logSrc io.Reader = lf
+		var logHash *obs.HashingReader
+		if man != nil {
+			logHash = obs.NewHashingReader(lf)
+			logSrc = logHash
+		}
+		res, err := core.AnalyzeLogs(logSrc, nil, nil, workload.CPURecord{}, cfg)
 		if err != nil {
 			return err
+		}
+		if logHash != nil {
+			man.AddFile(filepath.Base(*logsPath), logHash.Digest())
 		}
 		errorCount = res.PreSummary.TotalExclOutliers + res.OpSummary.TotalExclOutliers
 	}
 
 	full := stats.Period{Name: "characterization", Start: calib.PreOp().Start, End: calib.Op().End}
+	sp := obsFl.Registry().StartSpan("stage3.availability")
+	sp.AddIn(int64(len(downtimes)))
 	a, err := avail.Analyze(cluster.Durations(downtimes), avail.DefaultConfig(full, calib.Nodes, errorCount))
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -139,5 +180,5 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  %s: %.3f%% (%.1f h down)\n", r.Node, 100*r.Availability, r.DownHours)
 		}
 	}
-	return nil
+	return obsFl.Emit(stdout, man)
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var (
+	wallRe = regexp.MustCompile(`wall=[0-9.]+ms`)
+	utilRe = regexp.MustCompile(`util%=[0-9/]+`)
+	goRe   = regexp.MustCompile(`(?m)^go        \S+$`)
+)
+
+func normalizeMetrics(b []byte) []byte {
+	b = wallRe.ReplaceAll(b, []byte("wall=<dur>"))
+	b = utilRe.ReplaceAll(b, []byte("util%=<util>"))
+	b = goRe.ReplaceAll(b, []byte("go        <version>"))
+	return b
+}
+
+// TestMetricsGolden pins deltareport's -metrics section for a small pinned
+// end-to-end run: the full span set (simulation plus all three pipeline
+// stages), the sim.* counters and gauges, and the run manifest with its
+// embedded pipeline config. Wall times, utilization, and the toolchain
+// version are normalized. Regenerate with:
+//
+//	go test ./cmd/deltareport -run TestMetricsGolden -update
+func TestMetricsGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "1", "-scale", "0.02", "-workers", "2", "-quiet", "-metrics"},
+		&out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(out.Bytes(), []byte("=== Metrics ==="))
+	if idx < 0 {
+		t.Fatalf("no metrics section in output:\n%s", out.String())
+	}
+	got := normalizeMetrics(out.Bytes()[idx:])
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("metrics section diverges from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}

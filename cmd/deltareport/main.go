@@ -8,6 +8,7 @@
 //	deltareport [-seed N] [-scale F] [-window D] [-attr D] [-workers N]
 //	            [-compare] [-quiet] [-ext] [-trend] [-csv DIR] [-hopper] [-rate]
 //	            [-lenient] [-max-bad-lines N] [-max-bad-frac F]
+//	            [-metrics] [-metrics-json FILE] [-pprof ADDR]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"gpuresilience/internal/calib"
+	"gpuresilience/internal/cliflags"
 	"gpuresilience/internal/coalesce"
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/report"
@@ -45,15 +47,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trend   = fs.Bool("trend", false, "also print the 30-day error trend")
 		hopper  = fs.Bool("hopper", false, "run the Grace Hopper projection scenario instead of the A100 calibration")
 		rate    = fs.Bool("rate", false, "free-running rate mode instead of exact quotas")
-		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
-		lenient = fs.Bool("lenient", false, "corruption-tolerant Stage I: classify and skip damaged lines instead of failing")
-		maxBad  = fs.Int("max-bad-lines", 0, "lenient error budget: fail after this many corrupt lines (0 = unlimited, implies -lenient)")
-		maxFrac = fs.Float64("max-bad-frac", 0, "lenient error budget: fail when this corrupt-line fraction is exceeded (0 = unlimited, implies -lenient)")
+		workers = cliflags.Workers(fs)
+		lenient = cliflags.Lenient(fs)
+		obsFl   = cliflags.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	*lenient = *lenient || *maxBad > 0 || *maxFrac > 0
+	_, stopPprof, err := obsFl.StartPprof()
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
 
 	sc := calib.NewScenario(*seed, *scale)
 	if *hopper {
@@ -67,9 +72,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pcfg.CoalesceWindow = *window
 	pcfg.AttributionWindow = *attr
 	pcfg.Workers = *workers
-	pcfg.Lenient = *lenient
-	pcfg.MaxBadLines = *maxBad
-	pcfg.MaxBadFrac = *maxFrac
+	lenient.Apply(&pcfg)
+	pcfg.Obs = obsFl.Registry()
+
+	man := obsFl.Manifest("deltareport", *workers)
+	if man != nil {
+		man.Seed = *seed
+		man.Scale = *scale
+		man.Pipeline = pcfg
+	}
 
 	start := time.Now()
 	out, err := core.EndToEnd(core.EndToEndConfig{Cluster: sc.Cluster, Pipeline: pcfg})
@@ -143,7 +154,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return obsFl.Emit(stdout, man)
 }
 
 // writeCSVs dumps machine-readable versions of every table and figure.

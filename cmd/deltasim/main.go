@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	deltasim -out DIR [-seed N] [-scale F] [-nojobs] [-rate]
+//	deltasim -out DIR [-seed N] [-scale F] [-nojobs] [-rate] [-workers N]
+//	         [-metrics] [-metrics-json FILE] [-pprof ADDR]
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"time"
 
 	"gpuresilience/internal/calib"
+	"gpuresilience/internal/cliflags"
 	"gpuresilience/internal/cluster"
 	"gpuresilience/internal/dataset"
+	"gpuresilience/internal/obs"
 	"gpuresilience/internal/slurmsim"
 	"gpuresilience/internal/syslog"
 	"gpuresilience/internal/xid"
@@ -34,11 +37,13 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("deltasim", flag.ContinueOnError)
 	var (
-		out    = fs.String("out", "", "output directory (required)")
-		seed   = fs.Uint64("seed", 1, "simulation seed")
-		scale  = fs.Float64("scale", 0.1, "workload and fault scale (1.0 = full Delta)")
-		noJobs = fs.Bool("nojobs", false, "skip the workload (errors only)")
-		rate   = fs.Bool("rate", false, "free-running rate mode instead of exact quotas")
+		out     = fs.String("out", "", "output directory (required)")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+		scale   = fs.Float64("scale", 0.1, "workload and fault scale (1.0 = full Delta)")
+		noJobs  = fs.Bool("nojobs", false, "skip the workload (errors only)")
+		rate    = fs.Bool("rate", false, "free-running rate mode instead of exact quotas")
+		workers = cliflags.Workers(fs)
+		obsFl   = cliflags.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +54,11 @@ func run(args []string, stdout io.Writer) error {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
+	_, stopPprof, err := obsFl.StartPprof()
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
 
 	sc := calib.NewScenario(*seed, *scale)
 	if *rate {
@@ -57,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 	if *noJobs {
 		sc.Cluster.Workload = nil
 	}
+	sc.Cluster.Obs = obsFl.Registry()
 	sim, err := cluster.New(sc.Cluster)
 	if err != nil {
 		return err
@@ -84,6 +95,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := writer.Flush(); err != nil {
 		return err
 	}
+	obsFl.Registry().Gauge("sim.rawlines").Set(int64(writer.Lines()))
 
 	jobFile, err := os.Create(filepath.Join(*out, dataset.JobsFile))
 	if err != nil {
@@ -103,13 +115,25 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	if _, err := dataset.WriteManifest(*out, *seed, *scale,
-		"calibrated Delta A100 reproduction dataset"); err != nil {
+	dsm, err := dataset.WriteManifestWorkers(*out, *seed, *scale,
+		"calibrated Delta A100 reproduction dataset", *workers)
+	if err != nil {
 		return err
+	}
+
+	man := obsFl.Manifest("deltasim", *workers)
+	if man != nil {
+		man.Seed = *seed
+		man.Scale = *scale
+		// Reuse the dataset manifest's digests: for deltasim the run's
+		// provenance is its outputs, already hashed above.
+		for name, info := range dsm.Files {
+			man.AddFile(name, obs.FileDigest{Bytes: info.Bytes, SHA256: info.SHA256})
+		}
 	}
 
 	fmt.Fprintf(stdout, "wrote %s: %d raw log lines (%d true errors), %d jobs, %d repairs in %v\n",
 		*out, writer.Lines(), len(res.Events), len(res.Jobs), len(res.Downtimes),
 		time.Since(start).Round(time.Millisecond))
-	return nil
+	return obsFl.Emit(stdout, man)
 }

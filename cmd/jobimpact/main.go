@@ -6,8 +6,8 @@
 //
 //	jobimpact -logs FILE -jobs FILE [-attr D] [-window D] [-workers N]
 //	          [-lenient] [-max-bad-lines N] [-max-bad-frac F]
-//	jobimpact -data DIR [-attr D] [-window D] [-workers N]
-//	          [-lenient] [-max-bad-lines N] [-max-bad-frac F]
+//	          [-metrics] [-metrics-json FILE] [-pprof ADDR]
+//	jobimpact -data DIR [same flags]
 package main
 
 import (
@@ -15,11 +15,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"gpuresilience/internal/calib"
+	"gpuresilience/internal/cliflags"
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/dataset"
+	"gpuresilience/internal/obs"
 	"gpuresilience/internal/report"
 	"gpuresilience/internal/workload"
 )
@@ -39,15 +42,13 @@ func run(args []string, stdout io.Writer) error {
 		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its files)")
 		attr    = fs.Duration("attr", 20*time.Second, "failure attribution window")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
-		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
-		lenient = fs.Bool("lenient", false, "corruption-tolerant Stage I: classify and skip damaged lines instead of failing")
-		maxBad  = fs.Int("max-bad-lines", 0, "lenient error budget: fail after this many corrupt lines (0 = unlimited, implies -lenient)")
-		maxFrac = fs.Float64("max-bad-frac", 0, "lenient error budget: fail when this corrupt-line fraction is exceeded (0 = unlimited, implies -lenient)")
+		workers = cliflags.Workers(fs)
+		lenient = cliflags.Lenient(fs)
+		obsFl   = cliflags.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	*lenient = *lenient || *maxBad > 0 || *maxFrac > 0
 	if *dataDir != "" {
 		m, err := dataset.Verify(*dataDir)
 		if err != nil {
@@ -66,6 +67,11 @@ func run(args []string, stdout io.Writer) error {
 	if *logs == "" || *jobs == "" {
 		return fmt.Errorf("-logs and -jobs (or -data) are required")
 	}
+	_, stopPprof, err := obsFl.StartPprof()
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
 	lf, err := os.Open(*logs)
 	if err != nil {
 		return err
@@ -81,12 +87,29 @@ func run(args []string, stdout io.Writer) error {
 	cfg.AttributionWindow = *attr
 	cfg.CoalesceWindow = *window
 	cfg.Workers = *workers
-	cfg.Lenient = *lenient
-	cfg.MaxBadLines = *maxBad
-	cfg.MaxBadFrac = *maxFrac
-	res, err := core.AnalyzeLogs(lf, jf, nil, workload.CPURecord{}, cfg)
+	lenient.Apply(&cfg)
+	cfg.Obs = obsFl.Registry()
+
+	man := obsFl.Manifest("jobimpact", *workers)
+	if man != nil {
+		man.Pipeline = cfg
+	}
+	var logSrc io.Reader = lf
+	var jobSrc io.Reader = jf
+	var logHash, jobHash *obs.HashingReader
+	if man != nil {
+		logHash = obs.NewHashingReader(lf)
+		jobHash = obs.NewHashingReader(jf)
+		logSrc, jobSrc = logHash, jobHash
+	}
+
+	res, err := core.AnalyzeLogs(logSrc, jobSrc, nil, workload.CPURecord{}, cfg)
 	if err != nil {
 		return err
+	}
+	if man != nil {
+		man.AddFile(filepath.Base(*logs), logHash.Digest())
+		man.AddFile(filepath.Base(*jobs), jobHash.Digest())
 	}
 	if res.Ingestion != nil {
 		if err := report.WriteIngestion(stdout, res); err != nil {
@@ -98,5 +121,8 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(stdout)
-	return report.WriteTableIII(stdout, res)
+	if err := report.WriteTableIII(stdout, res); err != nil {
+		return err
+	}
+	return obsFl.Emit(stdout, man)
 }

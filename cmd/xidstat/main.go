@@ -4,7 +4,8 @@
 // Usage:
 //
 //	xidstat -logs FILE [-window D] [-workers N] [-lenient] [-max-bad-lines N] [-max-bad-frac F]
-//	xidstat -data DIR  [-window D] [-workers N] [-lenient] [-max-bad-lines N] [-max-bad-frac F]
+//	        [-metrics] [-metrics-json FILE] [-pprof ADDR]
+//	xidstat -data DIR  [same flags]
 package main
 
 import (
@@ -12,11 +13,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"gpuresilience/internal/calib"
+	"gpuresilience/internal/cliflags"
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/dataset"
+	"gpuresilience/internal/obs"
 	"gpuresilience/internal/report"
 	"gpuresilience/internal/workload"
 )
@@ -34,15 +38,13 @@ func run(args []string, stdout io.Writer) error {
 		logs    = fs.String("logs", "", "raw system log file")
 		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its syslog)")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
-		workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
-		lenient = fs.Bool("lenient", false, "corruption-tolerant Stage I: classify and skip damaged lines instead of failing")
-		maxBad  = fs.Int("max-bad-lines", 0, "lenient error budget: fail after this many corrupt lines (0 = unlimited, implies -lenient)")
-		maxFrac = fs.Float64("max-bad-frac", 0, "lenient error budget: fail when this corrupt-line fraction is exceeded (0 = unlimited, implies -lenient)")
+		workers = cliflags.Workers(fs)
+		lenient = cliflags.Lenient(fs)
+		obsFl   = cliflags.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	*lenient = *lenient || *maxBad > 0 || *maxFrac > 0
 	if *dataDir != "" {
 		m, err := dataset.Verify(*dataDir)
 		if err != nil {
@@ -57,6 +59,11 @@ func run(args []string, stdout io.Writer) error {
 	if *logs == "" {
 		return fmt.Errorf("-logs or -data is required")
 	}
+	_, stopPprof, err := obsFl.StartPprof()
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
 	f, err := os.Open(*logs)
 	if err != nil {
 		return err
@@ -66,12 +73,26 @@ func run(args []string, stdout io.Writer) error {
 	cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
 	cfg.CoalesceWindow = *window
 	cfg.Workers = *workers
-	cfg.Lenient = *lenient
-	cfg.MaxBadLines = *maxBad
-	cfg.MaxBadFrac = *maxFrac
-	res, err := core.AnalyzeLogs(f, nil, nil, workload.CPURecord{}, cfg)
+	lenient.Apply(&cfg)
+	cfg.Obs = obsFl.Registry()
+
+	man := obsFl.Manifest("xidstat", *workers)
+	if man != nil {
+		man.Pipeline = cfg
+	}
+	var src io.Reader = f
+	var hr *obs.HashingReader
+	if man != nil {
+		hr = obs.NewHashingReader(f)
+		src = hr
+	}
+
+	res, err := core.AnalyzeLogs(src, nil, nil, workload.CPURecord{}, cfg)
 	if err != nil {
 		return err
+	}
+	if hr != nil {
+		man.AddFile(filepath.Base(*logs), hr.Digest())
 	}
 	fmt.Fprintf(stdout, "scanned %d lines: %d XID lines, %d noise, %d malformed -> %d coalesced errors\n\n",
 		res.Extract.Lines, res.Extract.XIDLines, res.Extract.Skipped,
@@ -82,5 +103,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
-	return report.WriteTableI(stdout, res)
+	if err := report.WriteTableI(stdout, res); err != nil {
+		return err
+	}
+	return obsFl.Emit(stdout, man)
 }

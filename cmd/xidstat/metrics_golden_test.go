@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// Wall times, utilization percentages, and the toolchain version are the
+// only non-deterministic tokens in the -metrics section; the fixed rendering
+// (always %.1fms, always one util%= token) keeps these patterns simple.
+var (
+	wallRe = regexp.MustCompile(`wall=[0-9.]+ms`)
+	utilRe = regexp.MustCompile(`util%=[0-9/]+`)
+	goRe   = regexp.MustCompile(`(?m)^go        \S+$`)
+)
+
+func normalizeMetrics(b []byte) []byte {
+	b = wallRe.ReplaceAll(b, []byte("wall=<dur>"))
+	b = utilRe.ReplaceAll(b, []byte("util%=<util>"))
+	b = goRe.ReplaceAll(b, []byte("go        <version>"))
+	return b
+}
+
+// TestMetricsGolden pins the -metrics section: span names, item counts,
+// byte counts, worker counts, counter/gauge names, and the run manifest.
+// Timing-dependent tokens are normalized. Regenerate with:
+//
+//	go test ./cmd/xidstat -run TestMetricsGolden -update
+func TestMetricsGolden(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "syslog.txt")
+	writeLogs(t, path, 200)
+
+	var out bytes.Buffer
+	if err := run([]string{"-logs", path, "-workers", "2", "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(out.Bytes(), []byte("=== Metrics ==="))
+	if idx < 0 {
+		t.Fatalf("no metrics section in output:\n%s", out.String())
+	}
+	got := normalizeMetrics(out.Bytes()[idx:])
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("metrics section diverges from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}

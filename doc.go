@@ -29,11 +29,20 @@
 // docs/robustness.md has the taxonomy and the recovery guarantee, and
 // internal/logfuzz the deterministic fault injector that enforces it.
 //
+// The pipeline and simulator are instrumented through internal/obs — a
+// nil-safe, zero-cost-when-off observability layer: per-stage spans, a
+// race-safe metrics registry, run manifests for byte-for-byte
+// reproducibility (enforced by the tier-2 baseline in internal/obs/regress),
+// and opt-in pprof. Every CLI exposes it via -metrics / -metrics-json /
+// -pprof (flags unified in internal/cliflags); docs/observability.md has
+// the naming scheme and the manifest schema.
+//
 // Entry points live under internal/core (pipeline orchestration) and
 // internal/calib (the paper-calibrated configuration); runnable tools are in
 // cmd/ and runnable examples in examples/. Root-level bench_test.go holds one
 // benchmark per paper table and figure. The docs/ tree documents the
 // pipeline (docs/pipeline.md), the dataset file formats
-// (docs/file-formats.md), the CLI tools (docs/cli.md), and
-// corruption-tolerant ingestion (docs/robustness.md).
+// (docs/file-formats.md), the CLI tools (docs/cli.md),
+// corruption-tolerant ingestion (docs/robustness.md), and the
+// observability layer (docs/observability.md).
 package gpuresilience

@@ -1,0 +1,167 @@
+// Package cliflags unifies the flag surface shared by the study's CLIs.
+// Before it existed each command registered its own copies of -workers and
+// the lenient-ingestion trio (and deltasim/availability had no -workers at
+// all); now every command gets the same names, defaults, and help strings
+// from one place, plus the observability flags the obs layer adds:
+//
+//	-workers N        pipeline parallelism (0 = all cores, 1 = sequential)
+//	-lenient          corruption-tolerant Stage I
+//	-max-bad-lines N  lenient absolute error budget (implies -lenient)
+//	-max-bad-frac F   lenient fractional error budget (implies -lenient)
+//	-metrics          print per-stage spans, counters, and the run manifest
+//	-metrics-json F   write the machine-readable metrics.json document
+//	-pprof ADDR       serve net/http/pprof for the run's duration
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/obs"
+	"gpuresilience/internal/parallel"
+)
+
+// Workers registers the canonical -workers flag.
+func Workers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
+}
+
+// LenientFlags carries the corruption-tolerance trio.
+type LenientFlags struct {
+	Lenient     *bool
+	MaxBadLines *int
+	MaxBadFrac  *float64
+}
+
+// Lenient registers -lenient, -max-bad-lines, and -max-bad-frac.
+func Lenient(fs *flag.FlagSet) *LenientFlags {
+	return &LenientFlags{
+		Lenient:     fs.Bool("lenient", false, "corruption-tolerant Stage I: classify and skip damaged lines instead of failing"),
+		MaxBadLines: fs.Int("max-bad-lines", 0, "lenient error budget: fail after this many corrupt lines (0 = unlimited, implies -lenient)"),
+		MaxBadFrac:  fs.Float64("max-bad-frac", 0, "lenient error budget: fail when this corrupt-line fraction is exceeded (0 = unlimited, implies -lenient)"),
+	}
+}
+
+// Apply resolves the implies-lenient rule (a nonzero budget turns lenient
+// mode on) and copies the settings into cfg.
+func (l *LenientFlags) Apply(cfg *core.PipelineConfig) {
+	cfg.Lenient = *l.Lenient || *l.MaxBadLines > 0 || *l.MaxBadFrac > 0
+	cfg.MaxBadLines = *l.MaxBadLines
+	cfg.MaxBadFrac = *l.MaxBadFrac
+}
+
+// ObsFlags carries the observability trio. Instrumentation stays off — a
+// nil registry everywhere — unless at least one of the flags is set.
+type ObsFlags struct {
+	Metrics     *bool
+	MetricsJSON *string
+	Pprof       *string
+
+	reg *obs.Registry
+}
+
+// Obs registers -metrics, -metrics-json, and -pprof.
+func Obs(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		Metrics:     fs.Bool("metrics", false, "print per-stage metrics and the run manifest after the run"),
+		MetricsJSON: fs.String("metrics-json", "", "write machine-readable metrics and the run manifest to this file"),
+		Pprof:       fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration"),
+	}
+}
+
+// Enabled reports whether any observability output was requested.
+func (o *ObsFlags) Enabled() bool {
+	return *o.Metrics || *o.MetricsJSON != "" || *o.Pprof != ""
+}
+
+// Registry returns the run's metrics registry: non-nil only when an
+// observability flag was set, so the un-instrumented path stays zero-cost.
+func (o *ObsFlags) Registry() *obs.Registry {
+	if !o.Enabled() {
+		return nil
+	}
+	if o.reg == nil {
+		o.reg = obs.New()
+	}
+	return o.reg
+}
+
+// Manifest returns a run manifest stamped with the tool name, go version,
+// and resolved worker count — nil when observability is off, so callers can
+// chain AddFile and field assignments unconditionally.
+func (o *ObsFlags) Manifest(tool string, workers int) *obs.RunManifest {
+	if !o.Enabled() {
+		return nil
+	}
+	m := obs.NewRunManifest(tool)
+	m.Workers = parallel.Resolve(workers)
+	return m
+}
+
+// StartPprof starts the opt-in pprof server and returns its bound address
+// plus a stop function. With -pprof unset it is a no-op returning ("",
+// stop, nil). The server lives until stop is called (or the process exits);
+// it is meant for profiling long runs, e.g.
+//
+//	deltareport -scale 1.0 -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+func (o *ObsFlags) StartPprof() (string, func(), error) {
+	if *o.Pprof == "" {
+		return "", func() {}, nil
+	}
+	ln, err := net.Listen("tcp", *o.Pprof)
+	if err != nil {
+		return "", nil, fmt.Errorf("cliflags: pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// Emit writes the requested observability outputs: the human-readable
+// -metrics section (snapshot then manifest) to w, and/or the metrics.json
+// document. A run that set no observability flag emits nothing.
+func (o *ObsFlags) Emit(w io.Writer, man *obs.RunManifest) error {
+	if !o.Enabled() {
+		return nil
+	}
+	snap := o.Registry().Snapshot()
+	if *o.Metrics {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := snap.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := man.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if *o.MetricsJSON != "" {
+		f, err := os.Create(*o.MetricsJSON)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSON(f, man, snap); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package cliflags
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/obs"
+)
+
+func newSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestWorkersFlag(t *testing.T) {
+	fs := newSet()
+	w := Workers(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *w != 0 {
+		t.Fatalf("default -workers = %d, want 0", *w)
+	}
+	fs = newSet()
+	w = Workers(fs)
+	if err := fs.Parse([]string{"-workers", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if *w != 7 {
+		t.Fatalf("-workers 7 parsed as %d", *w)
+	}
+}
+
+func TestLenientApply(t *testing.T) {
+	cases := []struct {
+		args        []string
+		wantLenient bool
+		wantLines   int
+		wantFrac    float64
+	}{
+		{nil, false, 0, 0},
+		{[]string{"-lenient"}, true, 0, 0},
+		{[]string{"-max-bad-lines", "5"}, true, 5, 0}, // budget implies lenient
+		{[]string{"-max-bad-frac", "0.25"}, true, 0, 0.25},
+		{[]string{"-lenient", "-max-bad-lines", "3", "-max-bad-frac", "0.1"}, true, 3, 0.1},
+	}
+	for _, tc := range cases {
+		fs := newSet()
+		l := Lenient(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		var cfg core.PipelineConfig
+		l.Apply(&cfg)
+		if cfg.Lenient != tc.wantLenient || cfg.MaxBadLines != tc.wantLines || cfg.MaxBadFrac != tc.wantFrac {
+			t.Errorf("%v -> lenient=%v lines=%d frac=%g, want %v/%d/%g",
+				tc.args, cfg.Lenient, cfg.MaxBadLines, cfg.MaxBadFrac,
+				tc.wantLenient, tc.wantLines, tc.wantFrac)
+		}
+	}
+}
+
+func TestObsDisabledByDefault(t *testing.T) {
+	fs := newSet()
+	o := Obs(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Enabled() {
+		t.Fatal("Enabled() = true with no flags set")
+	}
+	if reg := o.Registry(); reg != nil {
+		t.Fatalf("Registry() = %v, want nil when disabled", reg)
+	}
+	if man := o.Manifest("test", 1); man != nil {
+		t.Fatalf("Manifest() = %v, want nil when disabled", man)
+	}
+	var buf bytes.Buffer
+	if err := o.Emit(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Emit wrote %q when disabled", buf.String())
+	}
+}
+
+func TestObsEnabled(t *testing.T) {
+	for _, args := range [][]string{
+		{"-metrics"},
+		{"-metrics-json", t.TempDir() + "/m.json"},
+		{"-pprof", "127.0.0.1:0"},
+	} {
+		fs := newSet()
+		o := Obs(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !o.Enabled() {
+			t.Errorf("%v: Enabled() = false", args)
+		}
+		reg := o.Registry()
+		if reg == nil {
+			t.Fatalf("%v: Registry() = nil", args)
+		}
+		if reg != o.Registry() {
+			t.Errorf("%v: Registry() not cached", args)
+		}
+	}
+}
+
+func TestManifestResolvesWorkers(t *testing.T) {
+	fs := newSet()
+	o := Obs(fs)
+	if err := fs.Parse([]string{"-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	man := o.Manifest("mytool", 3)
+	if man == nil {
+		t.Fatal("Manifest() = nil with -metrics set")
+	}
+	if man.Tool != "mytool" || man.Workers != 3 || man.GoVersion == "" {
+		t.Fatalf("manifest = %+v", man)
+	}
+	// 0 resolves to the machine's core count — just check it is positive.
+	if got := o.Manifest("mytool", 0).Workers; got < 1 {
+		t.Fatalf("Workers resolved from 0 = %d", got)
+	}
+}
+
+func TestStartPprof(t *testing.T) {
+	fs := newSet()
+	o := Obs(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop, err := o.StartPprof()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("profile")) {
+		t.Fatalf("pprof index: status %d, body %q", resp.StatusCode, body[:min(len(body), 200)])
+	}
+}
+
+func TestStartPprofDisabled(t *testing.T) {
+	fs := newSet()
+	o := Obs(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop, err := o.StartPprof()
+	if err != nil || addr != "" || stop == nil {
+		t.Fatalf("disabled StartPprof = (%q, stop==nil: %v, %v)", addr, stop == nil, err)
+	}
+	stop() // must be callable
+}
+
+func TestEmitText(t *testing.T) {
+	fs := newSet()
+	o := Obs(fs)
+	if err := fs.Parse([]string{"-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	o.Registry().Counter("demo.count").Add(42)
+	man := o.Manifest("demo", 1)
+	var buf bytes.Buffer
+	if err := o.Emit(&buf, man); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== Metrics ===", "demo.count", "42", "=== Run manifest ===", "tool      demo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Emit output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	path := t.TempDir() + "/metrics.json"
+	fs := newSet()
+	o := Obs(fs)
+	if err := fs.Parse([]string{"-metrics-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	o.Registry().Counter("demo.count").Add(1)
+	sp := o.Registry().StartSpan("demo.span")
+	sp.AddIn(10)
+	sp.End()
+	man := o.Manifest("demo", 2)
+	man.AddFile("input.txt", obs.FileDigest{Bytes: 3, SHA256: "abc"})
+	var buf bytes.Buffer
+	if err := o.Emit(&buf, man); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("-metrics-json alone wrote to stdout: %q", buf.String())
+	}
+	rep, err := obs.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Manifest == nil || rep.Manifest.Tool != "demo" {
+		t.Fatalf("manifest = %+v", rep.Manifest)
+	}
+	if len(rep.Metrics.Spans) != 1 || rep.Metrics.Spans[0].Name != "demo.span" || rep.Metrics.Spans[0].In != 10 {
+		t.Fatalf("spans = %+v", rep.Metrics.Spans)
+	}
+	if rep.Metrics.Counters["demo.count"] != 1 {
+		t.Fatalf("counters = %+v", rep.Metrics.Counters)
+	}
+}

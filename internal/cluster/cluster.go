@@ -29,6 +29,7 @@ import (
 	"gpuresilience/internal/gpusim"
 	"gpuresilience/internal/healthcheck"
 	"gpuresilience/internal/nodesim"
+	"gpuresilience/internal/obs"
 	"gpuresilience/internal/randx"
 	"gpuresilience/internal/simclock"
 	"gpuresilience/internal/slurmsim"
@@ -146,6 +147,11 @@ type Config struct {
 	// HealthCheck enables the SRE health-check monitor that proactively
 	// pulls degraded devices (§II-B); nil disables it.
 	HealthCheck *healthcheck.Config
+
+	// Obs receives the simulator's span and counters (sim.run wall time,
+	// events emitted, engine steps, jobs, downtimes) when non-nil. Nil — the
+	// default — disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 func (c Config) validate() error {
@@ -214,6 +220,10 @@ type Cluster struct {
 	events   []xid.Event
 	services int
 
+	// evCount observes every emitted error event; nil (the no-op counter)
+	// when cfg.Obs is nil, so emit pays only a nil-receiver check.
+	evCount *obs.Counter
+
 	// onEvent, if set, observes every emitted error event (used to stream
 	// raw syslog lines during the run).
 	onEvent func(xid.Event) error
@@ -226,9 +236,10 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		engine: simclock.NewEngine(cfg.PreOp.Start),
-		rng:    randx.Derive(cfg.Seed, "cluster"),
+		cfg:     cfg,
+		engine:  simclock.NewEngine(cfg.PreOp.Start),
+		rng:     randx.Derive(cfg.Seed, "cluster"),
+		evCount: cfg.Obs.Counter("sim.events"),
 	}
 	sched, err := slurmsim.NewScheduler(cfg.Sched, c.engine)
 	if err != nil {
@@ -302,6 +313,7 @@ func (c *Cluster) nodeStateChanged(n *nodesim.Node, from, to nodesim.State) {
 }
 
 func (c *Cluster) emit(ev xid.Event) {
+	c.evCount.Add(1)
 	c.events = append(c.events, ev)
 	if c.onEvent != nil && c.sinkErr == nil {
 		c.sinkErr = c.onEvent(ev)
@@ -313,6 +325,11 @@ func (c *Cluster) rule(k faults.Kind) ImpactRule { return c.cfg.Rules[k] }
 
 // Run executes the simulation over both periods and returns the results.
 func (c *Cluster) Run() (*Result, error) {
+	// The sim.run span covers the gpusim/nodesim event loops: the simclock
+	// engine drains every scheduled fault, workload, and lifecycle event
+	// between here and the end of the operational period.
+	span := c.cfg.Obs.StartSpan("sim.run")
+	defer span.End()
 	var monitor *healthcheck.Monitor
 	if c.cfg.HealthCheck != nil {
 		var err error
@@ -382,6 +399,13 @@ func (c *Cluster) Run() (*Result, error) {
 		res.HealthSweeps = monitor.Sweeps()
 		res.ServiceEvents += len(res.HealthActions)
 	}
+	span.AddIn(int64(c.engine.Steps()))
+	span.AddOut(int64(len(res.Events)))
+	c.cfg.Obs.Gauge("sim.engine.steps").Set(int64(c.engine.Steps()))
+	c.cfg.Obs.Gauge("sim.jobs").Set(int64(len(res.Jobs)))
+	c.cfg.Obs.Gauge("sim.downtimes").Set(int64(len(res.Downtimes)))
+	c.cfg.Obs.Gauge("sim.services").Set(int64(res.ServiceEvents))
+	c.cfg.Obs.Gauge("sim.health.sweeps").Set(int64(res.HealthSweeps))
 	return res, nil
 }
 

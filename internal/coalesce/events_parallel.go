@@ -23,12 +23,26 @@ const minShardEvents = 4096
 // ties never span shards because tied events share a key. workers <= 0
 // means GOMAXPROCS.
 func EventsParallel(events []xid.Event, window time.Duration, workers int) ([]xid.Event, error) {
+	return EventsParallelMeter(events, window, workers, nil)
+}
+
+// EventsParallelMeter is EventsParallel with per-worker instrumentation: a
+// non-nil meter observes each shard's sort-and-coalesce duration against
+// the worker that ran it (an obs.Span plugs in directly). Output is
+// unaffected; a nil meter runs the exact unmetered path.
+func EventsParallelMeter(events []xid.Event, window time.Duration, workers int, meter parallel.WorkerMeter) ([]xid.Event, error) {
 	workers = parallel.Resolve(workers)
 	if max := len(events) / minShardEvents; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		return Events(events, window)
+		if meter == nil {
+			return Events(events, window)
+		}
+		start := time.Now()
+		out, err := Events(events, window)
+		meter(0, time.Since(start))
+		return out, err
 	}
 	if _, err := New(window); err != nil { // validate before spawning
 		return nil, err
@@ -40,7 +54,7 @@ func EventsParallel(events []xid.Event, window time.Duration, workers int) ([]xi
 		shards[s] = append(shards[s], ev)
 	}
 
-	err := parallel.ForEach(workers, workers, func(s int) error {
+	err := parallel.ForEachMeter(workers, workers, meter, func(s int) error {
 		shard := shards[s]
 		sort.SliceStable(shard, func(i, k int) bool { return Less(shard[i], shard[k]) })
 		c, err := New(window)

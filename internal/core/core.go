@@ -23,6 +23,7 @@ import (
 	"gpuresilience/internal/cluster"
 	"gpuresilience/internal/coalesce"
 	"gpuresilience/internal/impact"
+	"gpuresilience/internal/obs"
 	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/slurmsim"
 	"gpuresilience/internal/stats"
@@ -68,6 +69,11 @@ type PipelineConfig struct {
 	// MaxBadFrac is the lenient mode's whole-stream corrupt-fraction
 	// budget, checked at EOF. 0 means unlimited.
 	MaxBadFrac float64
+	// Obs receives per-stage spans (wall time, items in/out, bytes read,
+	// per-worker utilization) and pipeline counters when non-nil. Nil — the
+	// default — disables instrumentation at zero cost. Excluded from
+	// serialized run manifests: a registry is a sink, not a setting.
+	Obs *obs.Registry `json:"-"`
 }
 
 // lenientOptions maps the pipeline's lenient settings onto Stage I options.
@@ -163,10 +169,19 @@ func Analyze(events []xid.Event, jobs []*slurmsim.Job, repairs []time.Duration,
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	coalesced, err := coalesce.EventsParallel(events, cfg.CoalesceWindow, cfg.Workers)
+	sp2 := cfg.Obs.StartSpan("stage2.coalesce")
+	var meter parallel.WorkerMeter
+	if cfg.Obs.Enabled() {
+		sp2.SetWorkers(parallel.Resolve(cfg.Workers))
+		meter = sp2.ObserveWorker
+	}
+	coalesced, err := coalesce.EventsParallelMeter(events, cfg.CoalesceWindow, cfg.Workers, meter)
 	if err != nil {
 		return nil, err
 	}
+	sp2.AddIn(int64(len(events)))
+	sp2.AddOut(int64(len(coalesced)))
+	sp2.End()
 	res := &Results{
 		RawEvents:       len(events),
 		CoalescedEvents: len(coalesced),
@@ -174,10 +189,22 @@ func Analyze(events []xid.Event, jobs []*slurmsim.Job, repairs []time.Duration,
 
 	// Stage III fan-out: the three analyses below only read coalesced/jobs,
 	// so they run concurrently (bounded by cfg.Workers); each one also
-	// shards internally where it pays off.
-	tasks := []func() error{
-		func() error { return res.fillTableI(coalesced, cfg) },
-		func() error {
+	// shards internally where it pays off. Each task carries its own span —
+	// started inside the task so a span's wall time excludes queueing.
+	tasks := []struct {
+		name string
+		fn   func(sp *obs.Span) error
+	}{
+		{"stage3.stats", func(sp *obs.Span) error {
+			sp.AddIn(int64(len(coalesced)))
+			if err := res.fillTableI(coalesced, cfg); err != nil {
+				return err
+			}
+			sp.AddOut(int64(len(res.TableI)))
+			return nil
+		}},
+		{"stage3.impact", func(sp *obs.Span) error {
+			sp.AddIn(int64(len(jobs)))
 			cor, err := impact.Correlate(jobs, coalesced, impact.Config{
 				AttributionWindow: cfg.AttributionWindow,
 				Period:            cfg.Op,
@@ -187,18 +214,26 @@ func Analyze(events []xid.Event, jobs []*slurmsim.Job, repairs []time.Duration,
 				return err
 			}
 			res.TableII = cor
+			sp.AddOut(int64(len(cor.Rows)))
 			return nil
-		},
-		func() error {
+		}},
+		{"stage3.workload", func(sp *obs.Span) error {
+			sp.AddIn(int64(len(jobs)))
 			res.TableIII = impact.TableIII(jobs)
 			res.JobStats = impact.ComputeJobStats(jobs, cpu.Total, cpu.Succeeded)
+			sp.AddOut(int64(len(res.TableIII)))
 			return nil
-		},
+		}},
 	}
-	if err := parallel.ForEach(len(tasks), cfg.Workers, func(i int) error { return tasks[i]() }); err != nil {
+	if err := parallel.ForEach(len(tasks), cfg.Workers, func(i int) error {
+		sp := cfg.Obs.StartSpan(tasks[i].name)
+		defer sp.End()
+		return tasks[i].fn(sp)
+	}); err != nil {
 		return nil, err
 	}
 
+	spA := cfg.Obs.StartSpan("stage3.availability")
 	full := stats.Period{Name: "characterization", Start: cfg.PreOp.Start, End: cfg.Op.End}
 	errorCount := res.PreSummary.TotalExclOutliers + res.OpSummary.TotalExclOutliers
 	availRes, err := avail.Analyze(repairs, avail.DefaultConfig(full, cfg.Nodes, errorCount))
@@ -206,6 +241,9 @@ func Analyze(events []xid.Event, jobs []*slurmsim.Job, repairs []time.Duration,
 		return nil, err
 	}
 	res.Avail = availRes
+	spA.AddIn(int64(len(repairs)))
+	spA.AddOut(int64(availRes.Repairs))
+	spA.End()
 	return res, nil
 }
 
@@ -375,6 +413,53 @@ func ExtractEventsLenient(r io.Reader, workers int, opt syslog.LenientOptions) (
 	return events, rep, err
 }
 
+// runStage1 is the pipeline's instrumented Stage I entry point: it runs the
+// strict or lenient extractor per cfg, and when cfg.Obs is enabled it
+// records the stage span — wall time, lines in, events out, bytes read, and
+// per-worker utilization of the sharded extractor's pool. The span is named
+// stage1.extract for strict runs and stage1.lenient for corruption-tolerant
+// ones, so a run's mode is visible in its metrics.
+func runStage1(r io.Reader, cfg PipelineConfig) ([]xid.Event, syslog.ExtractStats, *syslog.IngestionReport, error) {
+	var (
+		sp    *obs.Span
+		meter parallel.WorkerMeter
+	)
+	if cfg.Obs.Enabled() {
+		name := "stage1.extract"
+		if cfg.Lenient {
+			name = "stage1.lenient"
+		}
+		sp = cfg.Obs.StartSpan(name)
+		sp.SetWorkers(parallel.Resolve(cfg.Workers))
+		meter = sp.ObserveWorker
+		cr := obs.NewCountingReader(r)
+		r = cr
+		defer func() {
+			sp.AddBytes(cr.N())
+			sp.End()
+		}()
+	}
+	var events []xid.Event
+	collect := func(ev xid.Event) error {
+		events = append(events, ev)
+		return nil
+	}
+	var (
+		st  syslog.ExtractStats
+		rep *syslog.IngestionReport
+		err error
+	)
+	if cfg.Lenient {
+		rep, err = syslog.ExtractLenientParallelMeter(r, cfg.Workers, cfg.lenientOptions(), meter, collect)
+		st = ingestStats(rep)
+	} else {
+		st, err = syslog.ExtractParallelMeter(r, cfg.Workers, meter, collect)
+	}
+	sp.AddIn(int64(st.Lines))
+	sp.AddOut(int64(len(events)))
+	return events, st, rep, err
+}
+
 // AnalyzeLogs runs the full pipeline from raw inputs: a syslog stream and a
 // sacct-style job database dump. The two inputs are independent streams, so
 // they load concurrently when cfg.Workers allows.
@@ -389,12 +474,7 @@ func AnalyzeLogs(logs io.Reader, jobDB io.Reader, repairs []time.Duration,
 	loaders := []func() error{
 		func() error {
 			var err error
-			if cfg.Lenient {
-				events, ingest, err = ExtractEventsLenient(logs, cfg.Workers, cfg.lenientOptions())
-				st = ingestStats(ingest)
-			} else {
-				events, st, err = ExtractEventsParallel(logs, cfg.Workers)
-			}
+			events, st, ingest, err = runStage1(logs, cfg)
 			if err != nil {
 				return fmt.Errorf("core: stage I: %w", err)
 			}
@@ -468,6 +548,11 @@ type EndToEndResult struct {
 // EndToEnd runs simulate -> emit raw logs -> extract -> coalesce ->
 // characterize in a single streaming pass.
 func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
+	// One registry observes the whole run: the pipeline's stage spans and
+	// the simulator's sim.* series land side by side.
+	if cfg.Pipeline.Obs.Enabled() && cfg.Cluster.Obs == nil {
+		cfg.Cluster.Obs = cfg.Pipeline.Obs
+	}
 	sim, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
@@ -505,13 +590,7 @@ func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
 	done := make(chan extractOut, 1)
 	go func() {
 		var out extractOut
-		if cfg.Pipeline.Lenient {
-			var rep *syslog.IngestionReport
-			out.events, rep, out.err = ExtractEventsLenient(pr, cfg.Pipeline.Workers, cfg.Pipeline.lenientOptions())
-			out.stats, out.ingest = ingestStats(rep), rep
-		} else {
-			out.events, out.stats, out.err = ExtractEventsParallel(pr, cfg.Pipeline.Workers)
-		}
+		out.events, out.stats, out.ingest, out.err = runStage1(pr, cfg.Pipeline)
 		if out.err != nil {
 			// Unblock the writer side: an early abort (e.g. an exceeded
 			// error budget) must not deadlock the simulation's pipe writes.
@@ -549,6 +628,7 @@ func EndToEnd(cfg EndToEndConfig) (*EndToEndResult, error) {
 	}
 	res.Extract = ext.stats
 	res.Ingestion = ext.ingest
+	cfg.Pipeline.Obs.Gauge("sim.rawlines").Set(int64(writer.Lines()))
 	out := &EndToEndResult{
 		Results:     res,
 		Truth:       truth,

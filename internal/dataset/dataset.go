@@ -14,6 +14,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"gpuresilience/internal/parallel"
 )
 
 // Standard file names inside a dataset directory.
@@ -61,6 +63,14 @@ func hashFile(path string) (FileInfo, error) {
 // manifest. At least the syslog must exist; jobs and repairs are optional
 // (job-free simulations).
 func WriteManifest(dir string, seed uint64, scale float64, description string) (Manifest, error) {
+	return WriteManifestWorkers(dir, seed, scale, description, 1)
+}
+
+// WriteManifestWorkers is WriteManifest with the artifacts hashed by a
+// worker pool — worthwhile at full scale, where the syslog alone runs to
+// hundreds of megabytes. workers follows the pipeline convention (0 = all
+// cores, 1 = sequential).
+func WriteManifestWorkers(dir string, seed uint64, scale float64, description string, workers int) (Manifest, error) {
 	m := Manifest{
 		FormatVersion: currentFormat,
 		Seed:          seed,
@@ -68,21 +78,27 @@ func WriteManifest(dir string, seed uint64, scale float64, description string) (
 		Description:   description,
 		Files:         make(map[string]FileInfo),
 	}
-	found := false
+	var present []string
 	for _, name := range []string{SyslogFile, JobsFile, RepairsFile} {
-		path := filepath.Join(dir, name)
-		if _, err := os.Stat(path); err != nil {
-			continue
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			present = append(present, name)
 		}
-		info, err := hashFile(path)
-		if err != nil {
-			return Manifest{}, fmt.Errorf("dataset: hash %s: %w", name, err)
-		}
-		m.Files[name] = info
-		found = true
 	}
-	if !found {
+	if len(present) == 0 {
 		return Manifest{}, errors.New("dataset: no artifacts in directory")
+	}
+	infos, err := parallel.Map(present, workers, func(name string) (FileInfo, error) {
+		info, err := hashFile(filepath.Join(dir, name))
+		if err != nil {
+			return FileInfo{}, fmt.Errorf("dataset: hash %s: %w", name, err)
+		}
+		return info, nil
+	})
+	if err != nil {
+		return Manifest{}, err
+	}
+	for i, name := range present {
+		m.Files[name] = infos[i]
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

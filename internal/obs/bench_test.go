@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The nil-receiver benchmarks document the disabled cost: a nil check and
+// nothing else, so instrumented call sites are free when observability is
+// off. Compare with the enabled variants:
+//
+//	go test ./internal/obs -bench Counter -benchtime 100000000x
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkSpanObserveWorkerNil(b *testing.B) {
+	var s *Span
+	for i := 0; i < b.N; i++ {
+		s.ObserveWorker(0, time.Microsecond)
+	}
+}
+
+func BenchmarkSpanObserveWorkerEnabled(b *testing.B) {
+	s := New().StartSpan("bench")
+	for i := 0; i < b.N; i++ {
+		s.ObserveWorker(0, time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := newHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}

@@ -1,0 +1,228 @@
+// Package obs is the pipeline's observability layer: a dependency-free,
+// race-safe registry of counters, gauges, and duration histograms, plus
+// per-stage spans (wall time, items in/out, bytes read, per-worker busy
+// time) and a RunManifest that records everything needed to reproduce a run
+// byte-for-byte (seed, pipeline configuration, worker count, go version,
+// input digests).
+//
+// The whole API is nil-safe: every method on a nil *Registry, *Counter,
+// *Gauge, *Histogram, or *Span is a no-op, so instrumented code threads a
+// single pointer through and pays nothing when observability is off — no
+// branches at call sites, no allocations, no atomic traffic. The overhead
+// guard test in this package holds the enabled path to within 5% of the
+// disabled path on the hot Stage I/II benchmarks.
+//
+// See docs/observability.md for the metric naming scheme, the manifest
+// schema, and the pprof workflow.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds a run's metrics. The zero value is not usable; construct
+// with New. A nil registry is the disabled state: it hands out nil
+// instruments whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*Span
+	start    time.Time
+}
+
+// New returns an empty, enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		spans:    make(map[string]*Span),
+		start:    time.Now(),
+	}
+}
+
+// Enabled reports whether metrics are being collected.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use. Nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram, creating it on first use
+// with the default exponential buckets.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// StartSpan returns the named span, creating and starting it on first use.
+// Calling StartSpan again with the same name returns the same span (the
+// clock is not restarted), so concurrent stages can share one span safely.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[name]
+	if !ok {
+		s = &Span{name: name, start: time.Now(), hist: newHistogram()}
+		r.spans[name] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-write-wins value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records v. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last recorded value; 0 on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets are the duration histogram's upper bounds: exponential from
+// 100µs to ~1.6s plus an overflow bucket, wide enough for per-chunk parse
+// times and per-shard coalesce times alike.
+var histBuckets = func() []time.Duration {
+	b := make([]time.Duration, 15)
+	d := 100 * time.Microsecond
+	for i := range b {
+		b[i] = d
+		d *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket duration histogram. Observations are atomic;
+// bucket bounds are shared (histBuckets).
+type Histogram struct {
+	counts   []atomic.Int64 // len(histBuckets)+1, last is overflow
+	total    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(histBuckets)+1)}
+}
+
+// Observe records one duration. No-op on nil.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(histBuckets), func(i int) bool { return d <= histBuckets[i] })
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the cumulative observed duration; 0 on nil.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNanos.Load())
+}
+
+// quantile estimates the q-quantile (0..1) from the bucket counts, taking
+// each bucket's upper bound. Returns 0 for an empty histogram.
+func (h *Histogram) quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			if i < len(histBuckets) {
+				return histBuckets[i]
+			}
+			return 2 * histBuckets[len(histBuckets)-1] // overflow bucket
+		}
+	}
+	return 2 * histBuckets[len(histBuckets)-1]
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety drives every instrument method through a nil receiver —
+// the disabled state must be a universal no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports Enabled")
+	}
+	c := r.Counter("x")
+	c.Add(1)
+	if c != nil || c.Value() != 0 {
+		t.Fatal("nil registry handed out a live counter")
+	}
+	g := r.Gauge("x")
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge recorded a value")
+	}
+	h := r.Histogram("x")
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded an observation")
+	}
+	sp := r.StartSpan("x")
+	sp.AddIn(1)
+	sp.AddOut(1)
+	sp.AddBytes(1)
+	sp.SetWorkers(4)
+	sp.ObserveWorker(0, time.Millisecond)
+	sp.End()
+	if sp != nil || sp.Wall() != 0 {
+		t.Fatal("nil span recorded state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+	var m *RunManifest
+	m.AddFile("f", FileDigest{})
+	if err := m.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	if !r.Enabled() {
+		t.Fatal("live registry reports disabled")
+	}
+	r.Counter("c").Add(2)
+	r.Counter("c").Add(3)
+	if got := r.Counter("c").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Set(9)
+	if got := r.Gauge("g").Value(); got != 9 {
+		t.Fatalf("gauge = %d, want 9 (last write wins)", got)
+	}
+	h := r.Histogram("h")
+	for _, d := range []time.Duration{50 * time.Microsecond, time.Millisecond, 10 * time.Second} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if want := 50*time.Microsecond + time.Millisecond + 10*time.Second; h.Sum() != want {
+		t.Fatalf("hist sum = %v, want %v", h.Sum(), want)
+	}
+	// 10s exceeds the largest bucket: the quantile must clamp to the
+	// overflow estimate, not panic or return zero.
+	if q := h.quantile(0.99); q <= histBuckets[len(histBuckets)-1] {
+		t.Fatalf("p99 = %v, want overflow estimate", q)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("stage")
+	if again := r.StartSpan("stage"); again != sp {
+		t.Fatal("StartSpan with the same name returned a different span")
+	}
+	sp.AddIn(10)
+	sp.AddOut(4)
+	sp.AddBytes(1 << 20)
+	sp.SetWorkers(2)
+	sp.ObserveWorker(0, 2*time.Millisecond)
+	sp.ObserveWorker(1, time.Millisecond)
+	sp.ObserveWorker(1, time.Millisecond)
+	sp.End()
+	wall := sp.Wall()
+	sp.End() // second End must not move the clock
+	if sp.Wall() != wall {
+		t.Fatal("second End moved the wall clock")
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+	ss := snap.Spans[0]
+	if ss.Name != "stage" || ss.In != 10 || ss.Out != 4 || ss.Bytes != 1<<20 || ss.Workers != 2 {
+		t.Fatalf("span snapshot = %+v", ss)
+	}
+	if len(ss.Util) != 2 || ss.Util[0].Worker != 0 || ss.Util[0].Items != 1 ||
+		ss.Util[1].Worker != 1 || ss.Util[1].Items != 2 {
+		t.Fatalf("util = %+v", ss.Util)
+	}
+	if ss.Util[1].BusyNs != int64(2*time.Millisecond) {
+		t.Fatalf("worker 1 busy = %d", ss.Util[1].BusyNs)
+	}
+	if ss.ItemP50Ns == 0 || ss.ItemP99Ns < ss.ItemP50Ns {
+		t.Fatalf("item quantiles = %d/%d", ss.ItemP50Ns, ss.ItemP99Ns)
+	}
+}
+
+// TestSnapshotDeterministic registers names out of order from several
+// goroutines and asserts the snapshot sorts everything — the property the
+// golden tests and the tier-2 baseline rely on.
+func TestSnapshotDeterministic(t *testing.T) {
+	r := New()
+	names := []string{"zeta", "alpha", "mid", "beta"}
+	var wg sync.WaitGroup
+	for _, n := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter(n).Add(1)
+			r.StartSpan(n).End()
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	for i := 1; i < len(snap.Spans); i++ {
+		if snap.Spans[i-1].Name >= snap.Spans[i].Name {
+			t.Fatalf("spans unsorted: %+v", snap.Spans)
+		}
+	}
+}
+
+// TestMetricsConcurrent hammers one registry from GOMAXPROCS goroutines
+// and asserts exact totals — the race-safety contract, run under -race in
+// CI's observability job.
+func TestMetricsConcurrent(t *testing.T) {
+	const perG = 10000
+	goroutines := runtime.GOMAXPROCS(0)
+	if goroutines < 4 {
+		goroutines = 4
+	}
+	r := New()
+	sp := r.StartSpan("hammer")
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(time.Duration(i) * time.Microsecond)
+				sp.AddIn(1)
+				sp.ObserveWorker(worker, time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	sp.End()
+
+	total := int64(goroutines) * perG
+	if got := r.Counter("c").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Histogram("h").Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	snap := r.Snapshot()
+	ss := snap.Spans[0]
+	if ss.In != total {
+		t.Errorf("span in = %d, want %d", ss.In, total)
+	}
+	var items, busy int64
+	for _, u := range ss.Util {
+		items += u.Items
+		busy += u.BusyNs
+	}
+	if items != total {
+		t.Errorf("per-worker items = %d, want %d", items, total)
+	}
+	if want := total * int64(time.Microsecond); busy != want {
+		t.Errorf("per-worker busy = %d, want %d", busy, want)
+	}
+	if len(ss.Util) != goroutines {
+		t.Errorf("worker rows = %d, want %d", len(ss.Util), goroutines)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("stage1.extract")
+	sp.AddIn(100)
+	sp.AddOut(90)
+	sp.AddBytes(4096)
+	sp.SetWorkers(2)
+	sp.ObserveWorker(0, time.Millisecond)
+	sp.End()
+	r.Counter("sim.events").Add(12)
+	r.Gauge("sim.jobs").Set(34)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"=== Metrics ===",
+		"span stage1.extract",
+		"in=100 out=90 bytes=4096 workers=2 util%=",
+		"counter sim.events",
+		"gauge sim.jobs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+	// Wall times always render as fixed-point ms so golden tests can
+	// normalize them with one pattern.
+	if !strings.Contains(out, "ms in=") {
+		t.Errorf("wall time not in ms form:\n%s", out)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewRunManifest("tool")
+	m.Seed = 7
+	m.Scale = 0.5
+	m.Workers = 4
+	m.AddFile("syslog.txt", FileDigest{Bytes: 10, SHA256: "aa"})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunManifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "tool" || back.Seed != 7 || back.Scale != 0.5 ||
+		back.Files["syslog.txt"].SHA256 != "aa" {
+		t.Fatalf("round trip = %+v", back)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"=== Run manifest ===", "tool      tool", "seed      7", "file      syslog.txt  bytes=10  sha256=aa"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("WriteText missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestHashingReader(t *testing.T) {
+	src := strings.NewReader("hello world\n")
+	hr := NewHashingReader(src)
+	var sink bytes.Buffer
+	if _, err := sink.ReadFrom(hr); err != nil {
+		t.Fatal(err)
+	}
+	d := hr.Digest()
+	// sha256 of "hello world\n"
+	const want = "a948904f2f0f479b8f8197694b30184b0d2ed1c1cd2a1ec0fb85d299a192a447"
+	if d.Bytes != 12 || d.SHA256 != want {
+		t.Fatalf("digest = %+v", d)
+	}
+}
+
+func TestCountingReader(t *testing.T) {
+	cr := NewCountingReader(strings.NewReader(strings.Repeat("x", 1000)))
+	var sink bytes.Buffer
+	if _, err := sink.ReadFrom(cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.N() != 1000 {
+		t.Fatalf("N = %d", cr.N())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(1)
+	sp := r.StartSpan("s")
+	sp.End()
+	man := NewRunManifest("t")
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, man, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Manifest.Tool != "t" || rep.Metrics.Counters["c"] != 1 || len(rep.Metrics.Spans) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package obs_test
+
+const raceEnabled = false

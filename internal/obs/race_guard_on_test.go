@@ -1,0 +1,7 @@
+//go:build race
+
+package obs_test
+
+// raceEnabled gates the overhead guard: timing comparisons are meaningless
+// under the race detector's instrumentation.
+const raceEnabled = true

@@ -1,0 +1,217 @@
+// Package regress is the tier-2 regression harness: it runs the full
+// end-to-end reproduction under a pinned seed with instrumentation on,
+// freezes the rendered Tables I-III plus the deterministic slice of the
+// metrics (stage item counts, simulator counters and gauges), and compares
+// runs against a committed baseline. The run manifest captured alongside
+// lets any baseline be *replayed* — re-run purely from the manifest's
+// recorded seed, scale, and pipeline config — and the tables must come back
+// byte-for-byte, which is the reproducibility guarantee the observability
+// layer exists to enforce.
+//
+// Regenerate the committed baseline after an intentional behavior change:
+//
+//	go test ./internal/obs/regress -run TestTier2Baseline -update
+package regress
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/obs"
+	"gpuresilience/internal/parallel"
+	"gpuresilience/internal/report"
+)
+
+// SpanTotals is the deterministic slice of a span snapshot: item counts
+// and bytes, never wall time or utilization.
+type SpanTotals struct {
+	Name  string `json:"name"`
+	In    int64  `json:"in"`
+	Out   int64  `json:"out"`
+	Bytes int64  `json:"bytes,omitempty"`
+}
+
+// Baseline freezes everything about a pinned run that must never drift
+// without an intentional -update: the provenance manifest, the three
+// paper tables exactly as the report package renders them, and the
+// deterministic pipeline/simulator metrics.
+type Baseline struct {
+	Manifest *obs.RunManifest `json:"manifest"`
+	TableI   string           `json:"tableI"`
+	TableII  string           `json:"tableII"`
+	TableIII string           `json:"tableIII"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Spans    []SpanTotals     `json:"spans,omitempty"`
+}
+
+// Run executes the instrumented end-to-end pipeline at the given pin and
+// freezes it into a Baseline.
+func Run(seed uint64, scale float64, workers int) (*Baseline, error) {
+	sc := calib.NewScenario(seed, scale)
+	pcfg := core.DefaultPipelineConfig(sc.Cluster.PreOp, sc.Cluster.Op, sc.Cluster.Nodes4+sc.Cluster.Nodes8)
+	pcfg.Workers = workers
+
+	man := obs.NewRunManifest("regress")
+	// The baseline must not depend on which toolchain regenerated it; the
+	// pinned seed and config are the reproducibility contract, not the
+	// compiler build.
+	man.GoVersion = ""
+	man.Seed = seed
+	man.Scale = scale
+	man.Workers = parallel.Resolve(workers)
+	man.Pipeline = pcfg
+
+	return runPinned(seed, scale, pcfg, man)
+}
+
+// Replay re-runs a baseline purely from its manifest — the recorded seed,
+// scale, and pipeline config — proving the manifest alone reproduces the
+// run. The manifest's Pipeline field survives a JSON round-trip as a
+// generic map, so it is remarshaled into a concrete config first.
+func Replay(man *obs.RunManifest) (*Baseline, error) {
+	if man == nil {
+		return nil, fmt.Errorf("regress: nil manifest")
+	}
+	raw, err := json.Marshal(man.Pipeline)
+	if err != nil {
+		return nil, fmt.Errorf("regress: remarshal pipeline: %w", err)
+	}
+	var pcfg core.PipelineConfig
+	if err := json.Unmarshal(raw, &pcfg); err != nil {
+		return nil, fmt.Errorf("regress: decode pipeline: %w", err)
+	}
+	return runPinned(man.Seed, man.Scale, pcfg, man)
+}
+
+// runPinned does the shared work: simulate, analyze, render, freeze.
+func runPinned(seed uint64, scale float64, pcfg core.PipelineConfig, man *obs.RunManifest) (*Baseline, error) {
+	sc := calib.NewScenario(seed, scale)
+	reg := obs.New()
+	pcfg.Obs = reg
+	out, err := core.EndToEnd(core.EndToEndConfig{Cluster: sc.Cluster, Pipeline: pcfg})
+	if err != nil {
+		return nil, err
+	}
+
+	b := &Baseline{Manifest: man}
+	for _, t := range []struct {
+		dst *string
+		fn  func(*bytes.Buffer) error
+	}{
+		{&b.TableI, func(w *bytes.Buffer) error { return report.WriteTableI(w, out.Results) }},
+		{&b.TableII, func(w *bytes.Buffer) error { return report.WriteTableII(w, out.Results) }},
+		{&b.TableIII, func(w *bytes.Buffer) error { return report.WriteTableIII(w, out.Results) }},
+	} {
+		var buf bytes.Buffer
+		if err := t.fn(&buf); err != nil {
+			return nil, err
+		}
+		*t.dst = buf.String()
+	}
+
+	snap := reg.Snapshot()
+	b.Counters = snap.Counters
+	b.Gauges = snap.Gauges
+	for _, sp := range snap.Spans {
+		b.Spans = append(b.Spans, SpanTotals{Name: sp.Name, In: sp.In, Out: sp.Out, Bytes: sp.Bytes})
+	}
+	return b, nil
+}
+
+// Diff compares two baselines and returns one human-readable line per
+// divergence; empty means identical.
+func Diff(want, got *Baseline) []string {
+	var out []string
+	diffTable := func(name, w, g string) {
+		if w == g {
+			return
+		}
+		out = append(out, fmt.Sprintf("%s diverged:\n--- want ---\n%s--- got ---\n%s", name, w, g))
+	}
+	diffTable("Table I", want.TableI, got.TableI)
+	diffTable("Table II", want.TableII, got.TableII)
+	diffTable("Table III", want.TableIII, got.TableIII)
+	out = append(out, diffInt64Maps("counter", want.Counters, got.Counters)...)
+	out = append(out, diffInt64Maps("gauge", want.Gauges, got.Gauges)...)
+
+	wantSpans := make(map[string]SpanTotals, len(want.Spans))
+	for _, s := range want.Spans {
+		wantSpans[s.Name] = s
+	}
+	gotSpans := make(map[string]SpanTotals, len(got.Spans))
+	for _, s := range got.Spans {
+		gotSpans[s.Name] = s
+	}
+	for _, name := range sortedKeys(wantSpans) {
+		g, ok := gotSpans[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("span %s missing", name))
+			continue
+		}
+		if w := wantSpans[name]; w != g {
+			out = append(out, fmt.Sprintf("span %s: want in=%d out=%d bytes=%d, got in=%d out=%d bytes=%d",
+				name, w.In, w.Out, w.Bytes, g.In, g.Out, g.Bytes))
+		}
+	}
+	for _, name := range sortedKeys(gotSpans) {
+		if _, ok := wantSpans[name]; !ok {
+			out = append(out, fmt.Sprintf("span %s unexpected", name))
+		}
+	}
+	return out
+}
+
+func diffInt64Maps(kind string, want, got map[string]int64) []string {
+	var out []string
+	for _, name := range sortedKeys(want) {
+		g, ok := got[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s %s missing", kind, name))
+		} else if w := want[name]; w != g {
+			out = append(out, fmt.Sprintf("%s %s: want %d, got %d", kind, name, w, g))
+		}
+	}
+	for _, name := range sortedKeys(got) {
+		if _, ok := want[name]; !ok {
+			out = append(out, fmt.Sprintf("%s %s unexpected", kind, name))
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Save writes a baseline as indented JSON.
+func Save(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a baseline written by Save.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("regress: parse %s: %w", path, err)
+	}
+	return &b, nil
+}

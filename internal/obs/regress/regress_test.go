@@ -1,0 +1,104 @@
+package regress
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/tier2_baseline.json")
+
+// The tier-2 pin: small enough to run in seconds, large enough that every
+// table row and every stage span carries nonzero counts.
+const (
+	pinSeed    = 7
+	pinScale   = 0.05
+	pinWorkers = 4
+)
+
+var baselinePath = filepath.Join("testdata", "tier2_baseline.json")
+
+// TestTier2Baseline runs the full instrumented end-to-end pipeline under
+// the pinned seed and asserts Tables I-III plus the deterministic stage
+// metrics match the committed baseline exactly. Run with -update after an
+// intentional behavior change.
+func TestTier2Baseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 end-to-end run; skipped in -short mode")
+	}
+	got, err := Run(pinSeed, pinScale, pinWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := Save(baselinePath, got); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", baselinePath)
+		return
+	}
+	want, err := Load(baselinePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	for _, d := range Diff(want, got) {
+		t.Error(d)
+	}
+}
+
+// TestReplayFromManifest proves the reproducibility contract: a run
+// reconstructed purely from the baseline's manifest — seed, scale, and
+// pipeline config, nothing else — must reproduce Tables I-III
+// byte-for-byte and land the same deterministic metrics.
+func TestReplayFromManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 end-to-end run; skipped in -short mode")
+	}
+	want, err := Load(baselinePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	got, err := Replay(want.Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Diff(want, got) {
+		t.Error(d)
+	}
+}
+
+// TestWorkerCountInvariance re-runs the pin sequentially: the observability
+// layer must not perturb the worker-count-invariance guarantee.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 end-to-end run; skipped in -short mode")
+	}
+	want, err := Load(baselinePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	got, err := Run(pinSeed, pinScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TableI != want.TableI || got.TableII != want.TableII || got.TableIII != want.TableIII {
+		t.Error("tables diverge between -workers 4 and -workers 1")
+		for _, d := range Diff(want, got) {
+			t.Log(d)
+		}
+	}
+}
+
+func TestDiffReportsDivergence(t *testing.T) {
+	a := &Baseline{TableI: "x\n", Counters: map[string]int64{"c": 1},
+		Spans: []SpanTotals{{Name: "s", In: 2}}}
+	b := &Baseline{TableI: "y\n", Counters: map[string]int64{"c": 2},
+		Spans: []SpanTotals{{Name: "s", In: 3}, {Name: "extra"}}}
+	diffs := Diff(a, b)
+	if len(diffs) != 4 {
+		t.Fatalf("Diff returned %d lines, want 4: %q", len(diffs), diffs)
+	}
+	if diffs2 := Diff(a, a); len(diffs2) != 0 {
+		t.Fatalf("self-diff = %q", diffs2)
+	}
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WorkerSnapshot is one worker's share of a span's work.
+type WorkerSnapshot struct {
+	Worker int `json:"worker"`
+	// BusyNs is cumulative time spent processing items.
+	BusyNs int64 `json:"busyNs"`
+	// Items is how many work items the worker processed.
+	Items int64 `json:"items"`
+	// UtilPct is BusyNs over the span's wall time, percent (0-100).
+	UtilPct float64 `json:"utilPct"`
+}
+
+// SpanSnapshot is one stage's frozen measurements.
+type SpanSnapshot struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wallNs"`
+	In     int64  `json:"in"`
+	Out    int64  `json:"out"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	// Workers is the configured worker count (0 when the stage didn't set
+	// one); Util lists per-worker busy shares for metered stages.
+	Workers int              `json:"workers,omitempty"`
+	Util    []WorkerSnapshot `json:"util,omitempty"`
+	// Item-duration distribution for metered stages.
+	ItemP50Ns int64 `json:"itemP50Ns,omitempty"`
+	ItemP99Ns int64 `json:"itemP99Ns,omitempty"`
+}
+
+// HistogramSnapshot freezes one named histogram.
+type HistogramSnapshot struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	SumNs    int64   `json:"sumNs"`
+	BucketNs []int64 `json:"bucketNs"`
+	Counts   []int64 `json:"counts"`
+}
+
+// Snapshot is a registry's frozen, serializable state. Every slice is
+// sorted by name, so rendering order is deterministic regardless of which
+// goroutine registered what first.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Spans      []SpanSnapshot      `json:"spans,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. Nil registry returns the
+// zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{}
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	for name, h := range r.hists {
+		snap.Histograms = append(snap.Histograms, histSnapshot(name, h))
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return snap.Histograms[i].Name < snap.Histograms[j].Name
+	})
+	for _, s := range r.spans {
+		snap.Spans = append(snap.Spans, s.snapshot())
+	}
+	sort.Slice(snap.Spans, func(i, j int) bool { return snap.Spans[i].Name < snap.Spans[j].Name })
+	return snap
+}
+
+func histSnapshot(name string, h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Name:     name,
+		Count:    h.Count(),
+		SumNs:    int64(h.Sum()),
+		BucketNs: make([]int64, len(histBuckets)),
+		Counts:   make([]int64, len(h.counts)),
+	}
+	for i, b := range histBuckets {
+		hs.BucketNs[i] = int64(b)
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
+// snapshot freezes one span.
+func (s *Span) snapshot() SpanSnapshot {
+	wall := s.Wall()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := SpanSnapshot{
+		Name:    s.name,
+		WallNs:  int64(wall),
+		In:      s.in.Value(),
+		Out:     s.out.Value(),
+		Bytes:   s.bytes.Value(),
+		Workers: s.workers,
+	}
+	if s.hist.Count() > 0 {
+		ss.ItemP50Ns = int64(s.hist.quantile(0.50))
+		ss.ItemP99Ns = int64(s.hist.quantile(0.99))
+	}
+	ids := make([]int, 0, len(s.busy))
+	for w := range s.busy {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	for _, w := range ids {
+		u := WorkerSnapshot{Worker: w, BusyNs: int64(s.busy[w]), Items: s.items[w]}
+		if wall > 0 {
+			u.UtilPct = 100 * float64(s.busy[w]) / float64(wall)
+		}
+		ss.Util = append(ss.Util, u)
+	}
+	return ss
+}
+
+// WriteText renders the snapshot as the human-readable -metrics section:
+// one row per span (wall, items in/out, bytes, workers, per-worker
+// utilization), then counters and gauges. Durations are milliseconds with
+// one decimal, so golden tests can normalize them with a single pattern.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "=== Metrics ==="); err != nil {
+		return err
+	}
+	for _, sp := range s.Spans {
+		row := fmt.Sprintf("span %-22s wall=%.1fms in=%d out=%d",
+			sp.Name, float64(sp.WallNs)/1e6, sp.In, sp.Out)
+		if sp.Bytes > 0 {
+			row += fmt.Sprintf(" bytes=%d", sp.Bytes)
+		}
+		if sp.Workers > 0 {
+			row += fmt.Sprintf(" workers=%d", sp.Workers)
+		}
+		if len(sp.Util) > 0 {
+			parts := make([]string, len(sp.Util))
+			for i, u := range sp.Util {
+				parts[i] = fmt.Sprintf("%.0f", u.UtilPct)
+			}
+			row += " util%=" + strings.Join(parts, "/")
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	if err := writeSortedInt64(w, "counter", s.Counters); err != nil {
+		return err
+	}
+	return writeSortedInt64(w, "gauge", s.Gauges)
+}
+
+func writeSortedInt64(w io.Writer, kind string, m map[string]int64) error {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %-19s %d\n", kind, name, m[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report bundles a snapshot with its run manifest — the shape of the
+// machine-readable metrics.json artifact.
+type Report struct {
+	Manifest *RunManifest `json:"manifest,omitempty"`
+	Metrics  Snapshot     `json:"metrics"`
+}
+
+// WriteJSON emits the metrics.json document: the manifest plus the full
+// snapshot (histogram buckets included), indented for diffing.
+func WriteJSON(w io.Writer, man *RunManifest, snap Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Manifest: man, Metrics: snap})
+}
+
+// ReadReport parses a metrics.json document written by WriteJSON.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("obs: parse %s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span instruments one pipeline stage: wall time from StartSpan to End,
+// items in/out, bytes read, and per-worker busy time (from which the
+// snapshot derives utilization). All methods are safe for concurrent use
+// and no-ops on a nil span.
+type Span struct {
+	name  string
+	start time.Time
+
+	in    Counter
+	out   Counter
+	bytes Counter
+
+	// hist collects per-item processing durations (the same observations
+	// that feed the per-worker busy totals).
+	hist *Histogram
+
+	mu      sync.Mutex
+	end     time.Time // zero while running
+	workers int       // configured worker count, 0 when unset
+	busy    map[int]time.Duration
+	items   map[int]int64
+}
+
+// AddIn counts n items entering the stage.
+func (s *Span) AddIn(n int64) {
+	if s == nil {
+		return
+	}
+	s.in.Add(n)
+}
+
+// AddOut counts n items leaving the stage.
+func (s *Span) AddOut(n int64) {
+	if s == nil {
+		return
+	}
+	s.out.Add(n)
+}
+
+// AddBytes counts n bytes consumed by the stage.
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.bytes.Add(n)
+}
+
+// SetWorkers records the stage's resolved worker count.
+func (s *Span) SetWorkers(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+}
+
+// ObserveWorker accounts busy time d to worker w and feeds the span's
+// duration histogram. Its signature matches parallel.WorkerMeter, so a
+// span plugs straight into the metered pool variants.
+func (s *Span) ObserveWorker(w int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.hist.Observe(d)
+	s.mu.Lock()
+	if s.busy == nil {
+		s.busy = make(map[int]time.Duration)
+		s.items = make(map[int]int64)
+	}
+	s.busy[w] += d
+	s.items[w]++
+	s.mu.Unlock()
+}
+
+// End stops the span's wall clock. Subsequent calls keep the first end
+// time, so a shared span ends when its first finisher says so only if no
+// one else extends it — callers that share a span should End it once, from
+// the coordinating goroutine.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Wall returns the span's elapsed wall time (up to now while running).
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}

@@ -13,7 +13,16 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// WorkerMeter observes one worker's completion of one work item: w is the
+// worker index (0-based, stable for the pool's lifetime) and busy is the
+// time the item spent in the worker's transform. A nil meter disables
+// metering entirely — the metered constructors then run the exact unmetered
+// code path, so instrumentation is zero-cost when off. obs.Span's
+// ObserveWorker method satisfies this signature.
+type WorkerMeter func(w int, busy time.Duration)
 
 // Resolve returns the effective worker count: n when positive, otherwise
 // GOMAXPROCS. Pipeline options treat 0 as "use every core" and 1 as "force
@@ -31,6 +40,14 @@ func Resolve(n int) int {
 // would have hit first — so error behavior is deterministic regardless of
 // scheduling. After a failure, unstarted indices are skipped.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachMeter(n, workers, nil, fn)
+}
+
+// ForEachMeter is ForEach with per-worker instrumentation: when meter is
+// non-nil, every fn(i) call is timed and reported against the worker that
+// ran it (the sequential path reports worker 0). A nil meter takes the
+// unmetered path.
+func ForEachMeter(n, workers int, meter WorkerMeter, fn func(i int) error) error {
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
@@ -40,7 +57,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := timedCall(meter, 0, i, fn); err != nil {
 				return err
 			}
 		}
@@ -57,14 +74,14 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := timedCall(meter, w, i, fn); err != nil {
 					failed.Store(true)
 					mu.Lock()
 					if i < errIdx {
@@ -74,10 +91,21 @@ func ForEach(n, workers int, fn func(i int) error) error {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return first
+}
+
+// timedCall runs fn(i), reporting its duration to meter when metering is on.
+func timedCall(meter WorkerMeter, w, i int, fn func(i int) error) error {
+	if meter == nil {
+		return fn(i)
+	}
+	start := time.Now()
+	err := fn(i)
+	meter(w, time.Since(start))
+	return err
 }
 
 // Map applies fn to every item on at most workers goroutines and returns
@@ -127,6 +155,13 @@ type Ordered[T, R any] struct {
 // NewOrdered starts a pool of workers running fn. depth bounds the number
 // of in-flight items (it is raised to the worker count when smaller).
 func NewOrdered[T, R any](workers, depth int, fn func(T) (R, error)) *Ordered[T, R] {
+	return NewOrderedMeter(workers, depth, nil, fn)
+}
+
+// NewOrderedMeter is NewOrdered with per-worker instrumentation: when meter
+// is non-nil, each item's transform is timed and reported against the
+// worker that ran it. A nil meter starts the exact unmetered workers.
+func NewOrderedMeter[T, R any](workers, depth int, meter WorkerMeter, fn func(T) (R, error)) *Ordered[T, R] {
 	workers = Resolve(workers)
 	if depth < workers {
 		depth = workers
@@ -137,9 +172,18 @@ func NewOrdered[T, R any](workers, depth int, fn func(T) (R, error)) *Ordered[T,
 		abort:   make(chan struct{}),
 	}
 	for w := 0; w < workers; w++ {
+		run := fn
+		if meter != nil {
+			run = func(item T) (R, error) {
+				start := time.Now()
+				v, err := fn(item)
+				meter(w, time.Since(start))
+				return v, err
+			}
+		}
 		go func() {
 			for j := range o.work {
-				v, err := fn(j.item)
+				v, err := run(j.item)
 				j.out <- result[R]{val: v, err: err}
 			}
 		}()

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestResolve(t *testing.T) {
@@ -175,4 +177,103 @@ func TestOrderedAbortUnblocksProducer(t *testing.T) {
 		}
 	}
 	<-prodDone // must not deadlock
+}
+
+// meterRecorder is a race-safe WorkerMeter for tests.
+type meterRecorder struct {
+	mu    sync.Mutex
+	calls map[int]int // worker -> observations
+}
+
+func newMeterRecorder() *meterRecorder {
+	return &meterRecorder{calls: make(map[int]int)}
+}
+
+func (m *meterRecorder) observe(w int, d time.Duration) {
+	if d < 0 {
+		panic("negative duration")
+	}
+	m.mu.Lock()
+	m.calls[w]++
+	m.mu.Unlock()
+}
+
+func (m *meterRecorder) total() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.calls {
+		n += c
+	}
+	return n
+}
+
+// TestForEachMeterObservesEveryItem checks one meter observation per work
+// item, attributed to worker ids inside [0, workers).
+func TestForEachMeterObservesEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		rec := newMeterRecorder()
+		var ran atomic.Int64
+		err := ForEachMeter(20, workers, rec.observe, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 20 {
+			t.Fatalf("workers=%d: ran %d items", workers, ran.Load())
+		}
+		if rec.total() != 20 {
+			t.Fatalf("workers=%d: meter saw %d observations, want 20", workers, rec.total())
+		}
+		for w := range rec.calls {
+			if w < 0 || w >= workers {
+				t.Fatalf("workers=%d: observation for out-of-range worker %d", workers, w)
+			}
+		}
+	}
+}
+
+// TestForEachMeterNilMeter ensures a nil meter takes the plain path.
+func TestForEachMeterNilMeter(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachMeter(10, 4, nil, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d items", ran.Load())
+	}
+}
+
+// TestOrderedMeterObservesEveryItem does the same for the streaming pool.
+func TestOrderedMeterObservesEveryItem(t *testing.T) {
+	rec := newMeterRecorder()
+	pool := NewOrderedMeter(3, 6, rec.observe, func(x int) (int, error) { return x * x, nil })
+	go func() {
+		defer pool.CloseSubmit()
+		for i := 0; i < 25; i++ {
+			pool.Submit(i)
+		}
+	}()
+	for i := 0; ; i++ {
+		got, ok, err := pool.Next()
+		if !ok {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i*i {
+			t.Fatalf("result %d = %d, want %d", i, got, i*i)
+		}
+	}
+	if rec.total() != 25 {
+		t.Fatalf("meter saw %d observations, want 25", rec.total())
+	}
+	for w := range rec.calls {
+		if w < 0 || w >= 3 {
+			t.Fatalf("observation for out-of-range worker %d", w)
+		}
+	}
 }

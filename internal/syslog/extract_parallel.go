@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"time"
 
 	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/xid"
@@ -31,11 +32,25 @@ type chunkResult struct {
 // may differ from the sequential path's (they are aggregated per chunk, not
 // per line); on a nil-error run the stats are identical.
 func ExtractParallel(r io.Reader, workers int, fn func(xid.Event) error) (ExtractStats, error) {
+	return ExtractParallelMeter(r, workers, nil, fn)
+}
+
+// ExtractParallelMeter is ExtractParallel with per-worker instrumentation:
+// a non-nil meter observes each chunk's parse duration against the worker
+// that ran it (an obs.Span plugs in directly). Output is unaffected; a nil
+// meter runs the exact unmetered path.
+func ExtractParallelMeter(r io.Reader, workers int, meter parallel.WorkerMeter, fn func(xid.Event) error) (ExtractStats, error) {
 	workers = parallel.Resolve(workers)
 	if workers <= 1 {
-		return Extract(r, fn)
+		if meter == nil {
+			return Extract(r, fn)
+		}
+		start := time.Now()
+		st, err := Extract(r, fn)
+		meter(0, time.Since(start))
+		return st, err
 	}
-	pool := parallel.NewOrdered(workers, 2*workers, func(chunk []byte) (chunkResult, error) {
+	pool := parallel.NewOrderedMeter(workers, 2*workers, meter, func(chunk []byte) (chunkResult, error) {
 		return parseChunk(chunk), nil
 	})
 

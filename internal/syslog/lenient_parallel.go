@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"time"
 
 	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/xid"
@@ -36,12 +37,26 @@ type lenChunkResult struct {
 // also worker-count-invariant, though the counts inside a failing report
 // reflect the abort point.
 func ExtractLenientParallel(r io.Reader, workers int, opt LenientOptions, fn func(xid.Event) error) (*IngestionReport, error) {
+	return ExtractLenientParallelMeter(r, workers, opt, nil, fn)
+}
+
+// ExtractLenientParallelMeter is ExtractLenientParallel with per-worker
+// instrumentation, mirroring ExtractParallelMeter: a non-nil meter observes
+// each chunk's classification time against the worker that ran it; a nil
+// meter runs the exact unmetered path.
+func ExtractLenientParallelMeter(r io.Reader, workers int, opt LenientOptions, meter parallel.WorkerMeter, fn func(xid.Event) error) (*IngestionReport, error) {
 	opt = opt.withDefaults()
 	workers = parallel.Resolve(workers)
 	if workers <= 1 {
-		return ExtractLenient(r, opt, fn)
+		if meter == nil {
+			return ExtractLenient(r, opt, fn)
+		}
+		start := time.Now()
+		rep, err := ExtractLenient(r, opt, fn)
+		meter(0, time.Since(start))
+		return rep, err
 	}
-	pool := parallel.NewOrdered(workers, 2*workers, func(c lenChunk) (lenChunkResult, error) {
+	pool := parallel.NewOrderedMeter(workers, 2*workers, meter, func(c lenChunk) (lenChunkResult, error) {
 		return parseChunkLenient(c, opt), nil
 	})
 
