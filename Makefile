@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-quick report ablate examples fmt vet clean
+.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples fmt vet clean
 
 all: build test
 
@@ -13,11 +13,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over every text codec.
+# Short fuzz pass over every text codec, including the differential targets
+# that hold the byte-level parsers to their historical oracles.
 fuzz:
-	$(GO) test -fuzz FuzzParseLine -fuzztime 15s ./internal/syslog/
-	$(GO) test -fuzz FuzzParsePlacement -fuzztime 10s ./internal/slurmsim/
-	$(GO) test -fuzz FuzzLoadDBLine -fuzztime 10s ./internal/slurmsim/
+	$(GO) test -fuzz '^FuzzParseLine$$' -fuzztime 15s ./internal/syslog/
+	$(GO) test -fuzz '^FuzzParseLineEquivalence$$' -fuzztime 15s ./internal/syslog/
+	$(GO) test -fuzz '^FuzzParsePlacement$$' -fuzztime 10s ./internal/slurmsim/
+	$(GO) test -fuzz '^FuzzLoadDBLine$$' -fuzztime 10s ./internal/slurmsim/
+	$(GO) test -fuzz '^FuzzParseRowEquivalence$$' -fuzztime 10s ./internal/slurmsim/
 
 # Regenerate every paper table and figure at full scale (~10 min).
 bench:
@@ -26,6 +29,24 @@ bench:
 # Same benches over a 5% dataset (~1 min).
 bench-quick:
 	GPURESIL_BENCH_SCALE=0.05 $(GO) test -bench=. -benchmem -timeout 30m ./...
+
+# Hot-path benchmark set for the perf gate (sub-benchmarks included).
+BENCH_SET = ^(BenchmarkExtractParallel|BenchmarkPipelineParallel|BenchmarkStageIExtract|BenchmarkJobDBLoad)$$
+
+# Snapshot the hot-path benchmarks (5% dataset, 4 repeats, per-metric
+# medians) into BENCH_baseline.json. Commit the refreshed file whenever a
+# change moves performance on purpose; the CI perf job gates against it.
+bench-json:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	GPURESIL_BENCH_SCALE=0.05 $(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -count=4 -timeout 30m . | tee bench-out.txt
+	bin/benchdiff fmt -o BENCH_baseline.json bench-out.txt
+
+# Gate the current tree against the committed baseline. Same-machine runs
+# can hold a tighter time ratio than CI's cross-machine 1.6x.
+bench-gate:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	GPURESIL_BENCH_SCALE=0.05 $(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -count=4 -timeout 30m . | bin/benchdiff fmt -o bench-new.json
+	bin/benchdiff compare -base BENCH_baseline.json -new bench-new.json -max-time-ratio 1.25 -max-alloc-ratio 1.05
 
 # The full reproduction with paper comparison and extensions (~30 s).
 report:

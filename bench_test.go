@@ -467,6 +467,7 @@ func BenchmarkExtractParallel(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(len(logs)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				events := 0
 				st, err := syslog.ExtractParallel(newByteReader(logs), workers,
@@ -492,6 +493,7 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(len(logs) + len(jobs)))
+			b.ReportAllocs()
 			cfg := pipelineCfg()
 			cfg.Workers = workers
 			for i := 0; i < b.N; i++ {
@@ -515,6 +517,7 @@ func BenchmarkStageIExtract(b *testing.B) {
 		Node: "gpub042", GPU: 2, Code: xid.NVLink, Detail: "link 1-2 CRC failure",
 	}
 	line := syslog.FormatLine(ev, 4242, "python")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok, err := syslog.ParseLine(line); !ok || err != nil {
@@ -536,6 +539,7 @@ func BenchmarkJobDBLoad(b *testing.B) {
 	}
 	data := buf.data
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		jobs, err := slurmsim.LoadDB(newByteReader(data))
@@ -561,6 +565,10 @@ type byteReader struct {
 }
 
 func newByteReader(data []byte) *byteReader { return &byteReader{data: data} }
+
+// Len exposes the unread size so size-aware loaders (slurmsim.LoadDB) can
+// presize, matching what bytes.Reader offers.
+func (r *byteReader) Len() int { return len(r.data) - r.off }
 
 func (r *byteReader) Read(p []byte) (int, error) {
 	if r.off >= len(r.data) {

@@ -40,9 +40,14 @@
 // Entry points live under internal/core (pipeline orchestration) and
 // internal/calib (the paper-calibrated configuration); runnable tools are in
 // cmd/ and runnable examples in examples/. Root-level bench_test.go holds one
-// benchmark per paper table and figure. The docs/ tree documents the
+// benchmark per paper table and figure; the hot paths behind those numbers
+// are hand-rolled byte parsers held to their historical regex/strings
+// implementations by differential fuzzing, with a committed benchmark
+// baseline (BENCH_baseline.json) gated in CI — docs/performance.md has the
+// design and the workflow. The docs/ tree documents the
 // pipeline (docs/pipeline.md), the dataset file formats
 // (docs/file-formats.md), the CLI tools (docs/cli.md),
-// corruption-tolerant ingestion (docs/robustness.md), and the
-// observability layer (docs/observability.md).
+// corruption-tolerant ingestion (docs/robustness.md), the
+// observability layer (docs/observability.md), and the performance
+// engineering (docs/performance.md).
 package gpuresilience

@@ -30,16 +30,36 @@ type Coalescer struct {
 	kept     int
 }
 
+var errNegativeWindow = errors.New("coalesce: negative window")
+
 // New returns a Coalescer with the given window. A zero window disables
 // coalescing (every event is kept), which is the "no dedup" ablation.
 func New(window time.Duration) (*Coalescer, error) {
+	return newSized(window, 0)
+}
+
+// newSized is New with a map presized for a run over hint events, so batch
+// callers that know their input size skip the incremental map growth.
+func newSized(window time.Duration, hint int) (*Coalescer, error) {
 	if window < 0 {
-		return nil, errors.New("coalesce: negative window")
+		return nil, errNegativeWindow
 	}
 	return &Coalescer{
 		window:   window,
-		lastKept: make(map[xid.Key]time.Time),
+		lastKept: make(map[xid.Key]time.Time, mapHint(hint)),
 	}, nil
+}
+
+// mapHint sizes a per-run map from an event count: distinct keys are far
+// fewer than events (that is what coalescing exploits), and the cap keeps a
+// huge run from reserving more buckets than any realistic key population.
+func mapHint(n int) int {
+	const maxHint = 1 << 13
+	n /= 8
+	if n > maxHint {
+		return maxHint
+	}
+	return n
 }
 
 // Add offers one raw event and reports whether it was kept (i.e. it is the
@@ -83,7 +103,7 @@ func Less(a, b xid.Event) bool {
 // Events coalesces a batch: it stably sorts a copy by (time, node, gpu,
 // code) and returns the kept events in order.
 func Events(events []xid.Event, window time.Duration) ([]xid.Event, error) {
-	c, err := New(window)
+	c, err := newSized(window, len(events))
 	if err != nil {
 		return nil, err
 	}
@@ -99,9 +119,10 @@ func Events(events []xid.Event, window time.Duration) ([]xid.Event, error) {
 	return out, nil
 }
 
-// CountByCode tallies events per XID code.
+// CountByCode tallies events per XID code. The map is presized for the
+// driver's code table, which bounds the distinct codes any run produces.
 func CountByCode(events []xid.Event) map[xid.Code]int {
-	out := make(map[xid.Code]int)
+	out := make(map[xid.Code]int, 32)
 	for _, ev := range events {
 		out[ev.Code]++
 	}
@@ -111,7 +132,7 @@ func CountByCode(events []xid.Event) map[xid.Code]int {
 // CountByGroup tallies events per Table I row group, skipping codes with no
 // row (the excluded software XIDs).
 func CountByGroup(events []xid.Event) map[xid.Group]int {
-	out := make(map[xid.Group]int)
+	out := make(map[xid.Group]int, 8)
 	for _, ev := range events {
 		if g, ok := xid.GroupOf(ev.Code); ok {
 			out[g]++

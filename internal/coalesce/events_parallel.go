@@ -2,6 +2,7 @@ package coalesce
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"gpuresilience/internal/parallel"
@@ -11,6 +12,24 @@ import (
 // minShardEvents is the per-worker batch size below which sharding costs
 // more than it saves; smaller inputs take the sequential path.
 const minShardEvents = 4096
+
+// shardScratch is the reusable working set of one sharded run: the flat
+// event backing all shards are carved from and the per-event shard memo.
+// Pooling them makes repeated Stage II runs (the pipeline's steady state)
+// allocation-free in the partitioning pass.
+type shardScratch struct {
+	flat []xid.Event
+	idx  []uint16
+}
+
+var shardPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+// releaseShardScratch drops the event contents (so the pool never pins node
+// and detail strings of a finished run) and recycles the scratch.
+func releaseShardScratch(sc *shardScratch) {
+	clear(sc.flat)
+	shardPool.Put(sc)
+}
 
 // EventsParallel is the sharded Stage II. Events are partitioned by
 // coalescing key (node, GPU, code) — the identity the Coalescer's state is
@@ -44,20 +63,53 @@ func EventsParallelMeter(events []xid.Event, window time.Duration, workers int, 
 		meter(0, time.Since(start))
 		return out, err
 	}
-	if _, err := New(window); err != nil { // validate before spawning
-		return nil, err
+	if window < 0 { // validate before spawning
+		return nil, errNegativeWindow
+	}
+	if workers > (1<<16)-1 {
+		workers = (1 << 16) - 1 // the shard memo is uint16
 	}
 
-	shards := make([][]xid.Event, workers)
-	for _, ev := range events {
+	// Partition in two passes over one pooled flat backing: memoize each
+	// event's shard while counting shard sizes, then scatter into
+	// capacity-capped windows of the flat slice. No per-shard append growth.
+	sc := shardPool.Get().(*shardScratch)
+	defer releaseShardScratch(sc)
+	if cap(sc.idx) < len(events) {
+		sc.idx = make([]uint16, len(events))
+	} else {
+		sc.idx = sc.idx[:len(events)]
+	}
+	if cap(sc.flat) < len(events) {
+		sc.flat = make([]xid.Event, len(events))
+	} else {
+		sc.flat = sc.flat[:len(events)]
+	}
+	counts := make([]int, workers)
+	for i, ev := range events {
 		s := shardOf(ev.Key(), workers)
-		shards[s] = append(shards[s], ev)
+		sc.idx[i] = uint16(s)
+		counts[s]++
+	}
+	offs := make([]int, workers+1)
+	for s := 0; s < workers; s++ {
+		offs[s+1] = offs[s] + counts[s]
+	}
+	fill := append([]int(nil), offs[:workers]...)
+	for i, ev := range events {
+		s := sc.idx[i]
+		sc.flat[fill[s]] = ev
+		fill[s]++
+	}
+	shards := make([][]xid.Event, workers)
+	for s := 0; s < workers; s++ {
+		shards[s] = sc.flat[offs[s]:offs[s+1]:offs[s+1]]
 	}
 
 	err := parallel.ForEachMeter(workers, workers, meter, func(s int) error {
 		shard := shards[s]
 		sort.SliceStable(shard, func(i, k int) bool { return Less(shard[i], shard[k]) })
-		c, err := New(window)
+		c, err := newSized(window, len(shard))
 		if err != nil {
 			return err
 		}

@@ -23,6 +23,7 @@ import (
 	"gpuresilience/internal/cluster"
 	"gpuresilience/internal/coalesce"
 	"gpuresilience/internal/impact"
+	"gpuresilience/internal/intern"
 	"gpuresilience/internal/obs"
 	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/slurmsim"
@@ -423,6 +424,7 @@ func runStage1(r io.Reader, cfg PipelineConfig) ([]xid.Event, syslog.ExtractStat
 	var (
 		sp    *obs.Span
 		meter parallel.WorkerMeter
+		alloc *intern.Stats
 	)
 	if cfg.Obs.Enabled() {
 		name := "stage1.extract"
@@ -434,9 +436,15 @@ func runStage1(r io.Reader, cfg PipelineConfig) ([]xid.Event, syslog.ExtractStat
 		meter = sp.ObserveWorker
 		cr := obs.NewCountingReader(r)
 		r = cr
+		alloc = new(intern.Stats)
 		defer func() {
 			sp.AddBytes(cr.N())
 			sp.End()
+			// Stage I allocation behavior: interner traffic and the bytes
+			// actually copied out of the scan buffers (cache misses).
+			cfg.Obs.Counter("intern.hits").Add(alloc.Hits)
+			cfg.Obs.Counter("intern.misses").Add(alloc.Misses)
+			cfg.Obs.Counter("stage1.alloc_bytes").Add(alloc.Bytes)
 		}()
 	}
 	var events []xid.Event
@@ -450,10 +458,10 @@ func runStage1(r io.Reader, cfg PipelineConfig) ([]xid.Event, syslog.ExtractStat
 		err error
 	)
 	if cfg.Lenient {
-		rep, err = syslog.ExtractLenientParallelMeter(r, cfg.Workers, cfg.lenientOptions(), meter, collect)
+		rep, err = syslog.ExtractLenientParallelAlloc(r, cfg.Workers, cfg.lenientOptions(), meter, alloc, collect)
 		st = ingestStats(rep)
 	} else {
-		st, err = syslog.ExtractParallelMeter(r, cfg.Workers, meter, collect)
+		st, err = syslog.ExtractParallelAlloc(r, cfg.Workers, meter, alloc, collect)
 	}
 	sp.AddIn(int64(st.Lines))
 	sp.AddOut(int64(len(events)))

@@ -1,0 +1,110 @@
+package intern
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInternCanonicalizes(t *testing.T) {
+	in := New()
+	a := in.Intern([]byte("gpub001"))
+	b := in.Intern([]byte("gpub001"))
+	if a != b {
+		t.Fatalf("intern returned unequal strings: %q vs %q", a, b)
+	}
+	// Same canonical backing: the second call must not have allocated a
+	// distinct string (pointer equality via unsafe-free trick: interning a
+	// third time still hits).
+	st := in.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != int64(len("gpub001")) {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 7 bytes", st)
+	}
+}
+
+func TestInternDoesNotAliasInput(t *testing.T) {
+	buf := []byte("node-x")
+	in := New()
+	s := in.Intern(buf)
+	copy(buf, "CLOBBA")
+	if s != "node-x" {
+		t.Fatalf("interned string changed with its input buffer: %q", s)
+	}
+}
+
+func TestInternEmptyAndNil(t *testing.T) {
+	in := New()
+	if s := in.Intern(nil); s != "" {
+		t.Fatalf("Intern(nil) = %q", s)
+	}
+	if s := in.Intern([]byte{}); s != "" {
+		t.Fatalf("Intern(empty) = %q", s)
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("empty strings counted: %+v", st)
+	}
+	var nilIn *Interner
+	if s := nilIn.Intern([]byte("ok")); s != "ok" {
+		t.Fatalf("nil interner copy = %q", s)
+	}
+}
+
+func TestInternReset(t *testing.T) {
+	in := New()
+	in.Intern([]byte("a"))
+	in.Intern([]byte("a"))
+	in.Reset()
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("stats survive reset: %+v", st)
+	}
+	in.Intern([]byte("a"))
+	if st := in.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("table survived reset: %+v", st)
+	}
+}
+
+func TestInternBounds(t *testing.T) {
+	in := New()
+	long := []byte(strings.Repeat("x", maxLen+1))
+	s1 := in.Intern(long)
+	s2 := in.Intern(long)
+	if s1 != s2 {
+		t.Fatal("oversized values must still compare equal")
+	}
+	st := in.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("oversized values must bypass the table: %+v", st)
+	}
+	// Entry cap: once full, new values pass through as misses but old
+	// entries keep hitting.
+	in.Reset()
+	for i := 0; i < maxEntries+100; i++ {
+		in.Intern([]byte(fmt.Sprintf("v%05d", i)))
+	}
+	before := in.Stats()
+	in.Intern([]byte("v00000")) // cached before the cap
+	if in.Stats().Hits != before.Hits+1 {
+		t.Fatal("pre-cap entry stopped hitting")
+	}
+	in.Intern([]byte(fmt.Sprintf("v%05d", maxEntries+50))) // arrived past the cap
+	if in.Stats().Misses != before.Misses+1 {
+		t.Fatal("post-cap value should re-miss")
+	}
+}
+
+func TestInternHitAllocs(t *testing.T) {
+	in := New()
+	key := []byte("gpub017")
+	in.Intern(key)
+	if n := testing.AllocsPerRun(200, func() { in.Intern(key) }); n != 0 {
+		t.Errorf("intern hit allocates %v times per run, want 0", n)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	s := Stats{Hits: 1, Misses: 2, Bytes: 3}
+	s.Add(Stats{Hits: 10, Misses: 20, Bytes: 30})
+	if s != (Stats{Hits: 11, Misses: 22, Bytes: 33}) {
+		t.Fatalf("Add = %+v", s)
+	}
+}

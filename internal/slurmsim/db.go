@@ -2,11 +2,16 @@ package slurmsim
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 	"time"
+
+	"gpuresilience/internal/fasttime"
+	"gpuresilience/internal/intern"
 )
 
 // dbHeader is the column header of the sacct-style dump. The layout mirrors
@@ -53,25 +58,91 @@ func sanitize(s string) string {
 	return s
 }
 
+var dbHeaderBytes = []byte(dbHeader)
+
+// jobArenaSize is the Job block size of the loader's arena: one allocation
+// amortizes over this many rows.
+const jobArenaSize = 1024
+
+// dbLoader carries the allocation state of one LoadDB run: an interner for
+// the small recurring vocabularies (names, users, partitions, node names), a
+// Job arena so rows don't allocate one object each, and an int arena for
+// placement GPU-index slices.
+type dbLoader struct {
+	in    *intern.Interner
+	arena []Job
+	ints  []int
+}
+
+func (ld *dbLoader) newJob() *Job {
+	if len(ld.arena) == 0 {
+		ld.arena = make([]Job, jobArenaSize)
+	}
+	j := &ld.arena[0]
+	ld.arena = ld.arena[1:]
+	return j
+}
+
+// takeInts carves an n-int slice out of the arena, capacity-capped so a later
+// append cannot scribble over a neighbor's slice.
+func (ld *dbLoader) takeInts(n int) []int {
+	if n > len(ld.ints) {
+		ld.ints = make([]int, max(n, 4096))
+	}
+	s := ld.ints[:n:n]
+	ld.ints = ld.ints[n:]
+	return s
+}
+
+// estimateDBRows sizes the result slice from the reader when it can see the
+// input size (in-memory readers, regular files); ~120 bytes is the measured
+// mean row width of a DumpDB table.
+func estimateDBRows(r io.Reader) int {
+	var size int64
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		size = int64(v.Len())
+	case *os.File:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			size = fi.Size()
+		}
+	}
+	n := size / 120
+	if n < 16 {
+		return 16
+	}
+	if n > 4<<20 {
+		return 4 << 20
+	}
+	return int(n)
+}
+
 // LoadDB parses a dump produced by DumpDB.
+//
+// The row parser works field-by-field on the scanner's byte view — no
+// per-line string copy — with fixed-layout fast paths for the timestamp and
+// integer columns that fall back to time.Parse/strconv on anything
+// non-canonical, so accept/reject semantics and error text match the
+// historical strings-based parser exactly.
 func LoadDB(r io.Reader) ([]*Job, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	var jobs []*Job
+	ld := dbLoader{in: intern.New()}
+	jobs := make([]*Job, 0, estimateDBRows(r))
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
+		line := sc.Bytes()
 		if lineNo == 1 {
-			if line != dbHeader {
+			if !bytes.Equal(line, dbHeaderBytes) {
 				return nil, fmt.Errorf("slurmsim: unexpected DB header %q", line)
 			}
 			continue
 		}
-		if line == "" {
+		if len(line) == 0 {
 			continue
 		}
-		j, err := parseDBLine(line)
+		j, err := ld.parseRow(line)
 		if err != nil {
 			return nil, fmt.Errorf("slurmsim: line %d: %w", lineNo, err)
 		}
@@ -83,55 +154,111 @@ func LoadDB(r io.Reader) ([]*Job, error) {
 	return jobs, nil
 }
 
-func parseDBLine(line string) (*Job, error) {
-	fields := strings.Split(line, "|")
-	if len(fields) != 12 {
-		return nil, fmt.Errorf("want 12 fields, got %d", len(fields))
+// splitDBFields splits a row on '|' into the 12 sacct columns. n is the true
+// field count even when it exceeds 12 (the error message reports it).
+func splitDBFields(line []byte, f *[12][]byte) (n int, ok bool) {
+	for {
+		i := bytes.IndexByte(line, '|')
+		if i < 0 {
+			break
+		}
+		if n < 12 {
+			f[n] = line[:i]
+		}
+		n++
+		line = line[i+1:]
 	}
-	id, err := strconv.Atoi(fields[0])
+	if n < 12 {
+		f[n] = line
+	}
+	n++
+	return n, n == 12
+}
+
+// atoiFast parses a plain unsigned digit run of at most 9 digits (no
+// overflow possible). Anything else — sign, empty, long, non-digit — reports
+// false so the caller can take the strconv path.
+func atoiFast(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 9 {
+		return 0, false
+	}
+	v := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, true
+}
+
+func atoiBytes(b []byte) (int, error) {
+	if v, ok := atoiFast(b); ok {
+		return v, nil
+	}
+	return strconv.Atoi(string(b))
+}
+
+// parseDBTime parses one timestamp column. DumpDB always emits the canonical
+// 20-byte UTC form, which the fixed-layout fast path handles without
+// allocating; anything else goes through time.Parse for identical semantics.
+func parseDBTime(b []byte) (time.Time, error) {
+	if t, ok := fasttime.ParseRFC3339UTC(b); ok {
+		return t, nil
+	}
+	return time.Parse(dbTimeLayout, string(b))
+}
+
+func (ld *dbLoader) parseRow(line []byte) (*Job, error) {
+	var f [12][]byte
+	if n, ok := splitDBFields(line, &f); !ok {
+		return nil, fmt.Errorf("want 12 fields, got %d", n)
+	}
+	id, err := atoiBytes(f[0])
 	if err != nil {
 		return nil, fmt.Errorf("job id: %w", err)
 	}
-	gpus, err := strconv.Atoi(fields[4])
+	gpus, err := atoiBytes(f[4])
 	if err != nil {
 		return nil, fmt.Errorf("gpus: %w", err)
 	}
-	submit, err := time.Parse(dbTimeLayout, fields[5])
+	submit, err := parseDBTime(f[5])
 	if err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
 	var start, end time.Time
-	if fields[6] != "" {
-		if start, err = time.Parse(dbTimeLayout, fields[6]); err != nil {
+	if len(f[6]) != 0 {
+		if start, err = parseDBTime(f[6]); err != nil {
 			return nil, fmt.Errorf("start: %w", err)
 		}
 	}
-	if fields[7] != "" {
-		if end, err = time.Parse(dbTimeLayout, fields[7]); err != nil {
+	if len(f[7]) != 0 {
+		if end, err = parseDBTime(f[7]); err != nil {
 			return nil, fmt.Errorf("end: %w", err)
 		}
 	}
-	state, err := ParseJobState(fields[8])
+	state, err := parseJobStateBytes(f[8])
 	if err != nil {
 		return nil, err
 	}
-	exitStr, _, ok := strings.Cut(fields[9], ":")
-	if !ok {
-		return nil, fmt.Errorf("exit code %q not in code:signal form", fields[9])
+	ci := bytes.IndexByte(f[9], ':')
+	if ci < 0 {
+		return nil, fmt.Errorf("exit code %q not in code:signal form", f[9])
 	}
-	exit, err := strconv.Atoi(exitStr)
+	exit, err := atoiBytes(f[9][:ci])
 	if err != nil {
 		return nil, fmt.Errorf("exit code: %w", err)
 	}
-	place, err := ParsePlacement(fields[10])
+	place, err := ld.parsePlacement(f[10])
 	if err != nil {
 		return nil, err
 	}
-	return &Job{
+	j := ld.newJob()
+	*j = Job{
 		ID:        id,
-		Name:      fields[1],
-		User:      fields[2],
-		Partition: fields[3],
+		Name:      ld.in.Intern(f[1]),
+		User:      ld.in.Intern(f[2]),
+		Partition: ld.in.Intern(f[3]),
 		GPUs:      gpus,
 		Submit:    submit,
 		Start:     start,
@@ -139,6 +266,59 @@ func parseDBLine(line string) (*Job, error) {
 		State:     state,
 		ExitCode:  exit,
 		Place:     place,
-		ML:        fields[11] == "1",
-	}, nil
+		ML:        len(f[11]) == 1 && f[11][0] == '1',
+	}
+	return j, nil
+}
+
+var placementSemi = []byte{';'}
+
+// parsePlacement parses the canonical Placement.String encoding —
+// "node:i,j;node:k" with plain digit runs — straight off the bytes. Any
+// deviation restarts the whole field through the exported ParsePlacement, so
+// the loader keeps its Sscanf-level tolerance (signed indices, leading
+// spaces) and its exact errors.
+func (ld *dbLoader) parsePlacement(b []byte) (Placement, error) {
+	if len(b) == 0 {
+		return make(Placement), nil
+	}
+	p := make(Placement, bytes.Count(b, placementSemi)+1)
+	rest := b
+	for {
+		var part []byte
+		if i := bytes.IndexByte(rest, ';'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			part, rest = rest, nil
+		}
+		ci := bytes.IndexByte(part, ':')
+		if ci <= 0 {
+			return ParsePlacement(string(b))
+		}
+		node, list := part[:ci], part[ci+1:]
+		idxs := ld.takeInts(bytes.Count(list, []byte{','}) + 1)
+		k := 0
+		for {
+			var seg []byte
+			if j := bytes.IndexByte(list, ','); j >= 0 {
+				seg, list = list[:j], list[j+1:]
+			} else {
+				seg, list = list, nil
+			}
+			v, ok := atoiFast(seg)
+			if !ok {
+				return ParsePlacement(string(b))
+			}
+			idxs[k] = v
+			k++
+			if list == nil {
+				break
+			}
+		}
+		p[ld.in.Intern(node)] = idxs
+		if rest == nil {
+			break
+		}
+	}
+	return p, nil
 }

@@ -69,6 +69,30 @@ func ParseJobState(s string) (JobState, error) {
 	}
 }
 
+// parseJobStateBytes is ParseJobState for a byte field: the switch on
+// string(b) compiles to allocation-free comparisons; only the error path
+// copies. The case list must stay in lockstep with ParseJobState.
+func parseJobStateBytes(b []byte) (JobState, error) {
+	switch string(b) {
+	case "PENDING":
+		return StatePending, nil
+	case "RUNNING":
+		return StateRunning, nil
+	case "COMPLETED":
+		return StateCompleted, nil
+	case "FAILED":
+		return StateFailed, nil
+	case "NODE_FAIL":
+		return StateNodeFail, nil
+	case "CANCELLED":
+		return StateCancelled, nil
+	case "TIMEOUT":
+		return StateTimeout, nil
+	default:
+		return ParseJobState(string(b))
+	}
+}
+
 // Succeeded reports whether the state counts as a success in the study's
 // job-statistics analysis.
 func (s JobState) Succeeded() bool { return s == StateCompleted }

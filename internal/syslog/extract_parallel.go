@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"gpuresilience/internal/intern"
 	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/xid"
 )
@@ -14,16 +15,31 @@ import (
 // chunk always ends on a line boundary, so a worker never sees a torn line.
 const defaultChunkBytes = 1 << 20
 
+// nl is the line separator, hoisted for the bytes.Count calls.
+var nl = []byte{'\n'}
+
+// pooledChunk is one unit of work for the parallel extractor: a
+// line-aligned byte range plus the pooled buffer backing it. The worker
+// returns owner to the chunk pool as soon as the chunk is parsed — every
+// string a parse produces is an interned copy, never a view into the
+// buffer.
+type pooledChunk struct {
+	data  []byte
+	owner *[]byte
+}
+
 // chunkResult is one worker's output: the parsed events of its chunk, in
-// the chunk's line order, plus the chunk's share of the scan statistics.
+// the chunk's line order, the chunk's share of the scan statistics, and
+// its interner totals (merged deterministically at the ordered fan-in).
 type chunkResult struct {
 	events []xid.Event
 	stats  ExtractStats
+	alloc  intern.Stats
 }
 
 // ExtractParallel is the sharded Stage I: the raw log is split on line
-// boundaries into ~1 MiB chunks, up to workers goroutines run the regex
-// extraction concurrently, and an ordered fan-in re-serializes the parsed
+// boundaries into ~1 MiB chunks, up to workers goroutines run the byte
+// parser concurrently, and an ordered fan-in re-serializes the parsed
 // events so fn observes exactly the sequence (and final stats) the
 // sequential Extract would have produced. workers <= 0 means GOMAXPROCS;
 // workers == 1 falls back to Extract.
@@ -32,7 +48,7 @@ type chunkResult struct {
 // may differ from the sequential path's (they are aggregated per chunk, not
 // per line); on a nil-error run the stats are identical.
 func ExtractParallel(r io.Reader, workers int, fn func(xid.Event) error) (ExtractStats, error) {
-	return ExtractParallelMeter(r, workers, nil, fn)
+	return ExtractParallelAlloc(r, workers, nil, nil, fn)
 }
 
 // ExtractParallelMeter is ExtractParallel with per-worker instrumentation:
@@ -40,18 +56,34 @@ func ExtractParallel(r io.Reader, workers int, fn func(xid.Event) error) (Extrac
 // that ran it (an obs.Span plugs in directly). Output is unaffected; a nil
 // meter runs the exact unmetered path.
 func ExtractParallelMeter(r io.Reader, workers int, meter parallel.WorkerMeter, fn func(xid.Event) error) (ExtractStats, error) {
+	return ExtractParallelAlloc(r, workers, meter, nil, fn)
+}
+
+// ExtractParallelAlloc additionally reports allocation behavior: a non-nil
+// alloc accumulates the interner hit/miss/byte totals of the run. At a
+// fixed worker count the totals are deterministic — chunk boundaries
+// depend only on the input bytes, and each chunk is interned in isolation.
+func ExtractParallelAlloc(r io.Reader, workers int, meter parallel.WorkerMeter, alloc *intern.Stats, fn func(xid.Event) error) (ExtractStats, error) {
 	workers = parallel.Resolve(workers)
 	if workers <= 1 {
 		if meter == nil {
-			return Extract(r, fn)
+			return extractSeq(r, alloc, fn)
 		}
 		start := time.Now()
-		st, err := Extract(r, fn)
+		st, err := extractSeq(r, alloc, fn)
 		meter(0, time.Since(start))
 		return st, err
 	}
-	pool := parallel.NewOrderedMeter(workers, 2*workers, meter, func(chunk []byte) (chunkResult, error) {
-		return parseChunk(chunk), nil
+	pool := parallel.NewOrderedMeter(workers, 2*workers, meter, func(c pooledChunk) (chunkResult, error) {
+		in := getInterner()
+		res := parseChunk(c.data, in)
+		res.alloc = in.Stats()
+		in.Reset()
+		internerPool.Put(in)
+		if c.owner != nil {
+			putChunkBuf(c.owner)
+		}
+		return res, nil
 	})
 
 	// The producer reads line-aligned chunks and feeds the pool; the
@@ -75,6 +107,9 @@ func ExtractParallelMeter(r io.Reader, workers int, meter parallel.WorkerMeter, 
 		st.Lines += out.stats.Lines
 		st.Skipped += out.stats.Skipped
 		st.Malformed += out.stats.Malformed
+		if alloc != nil {
+			alloc.Add(out.alloc)
+		}
 		for _, ev := range out.events {
 			st.XIDLines++
 			if err := fn(ev); err != nil {
@@ -93,9 +128,14 @@ func ExtractParallelMeter(r io.Reader, workers int, meter parallel.WorkerMeter, 
 	return st, nil
 }
 
-// parseChunk runs the Stage I regex over one line-aligned chunk.
-func parseChunk(chunk []byte) chunkResult {
+// parseChunk runs the Stage I byte parser over one line-aligned chunk. The
+// events slice is sized once from the chunk's line count; per-line work is
+// allocation-free for noise and interner hits.
+func parseChunk(chunk []byte, in *intern.Interner) chunkResult {
 	var out chunkResult
+	if n := bytes.Count(chunk, nl); n > 0 || len(chunk) > 0 {
+		out.events = make([]xid.Event, 0, n+1)
+	}
 	for len(chunk) > 0 {
 		var line []byte
 		if idx := bytes.IndexByte(chunk, '\n'); idx >= 0 {
@@ -104,7 +144,10 @@ func parseChunk(chunk []byte) chunkResult {
 			line, chunk = chunk, nil
 		}
 		out.stats.Lines++
-		ev, ok, err := ParseLine(string(line))
+		// Mirror bufio.ScanLines (the sequential scanner): one trailing
+		// CR belongs to the line terminator, not the line.
+		line = trimCR(line)
+		ev, ok, err := parseLineBytes(line, in)
 		if err != nil {
 			out.stats.Malformed++
 			continue
@@ -118,49 +161,57 @@ func parseChunk(chunk []byte) chunkResult {
 	return out
 }
 
-// readChunks reads r into line-aligned chunks and emits each one. emit
-// reports false when the consumer aborted, which stops the read without
-// error. A line longer than MaxLineBytes fails with its line number, like
-// the sequential scanner does.
-func readChunks(r io.Reader, emit func([]byte) bool) error {
-	var leftover []byte // tail bytes after the last newline of the previous read
-	lines := 0          // complete lines emitted so far, for error context
+// readChunks reads r into line-aligned chunks and emits each one, reusing
+// pooled buffers: ownership of each emitted buffer passes to the worker
+// that parses it. emit reports false when the consumer aborted, which
+// stops the read without error. A line longer than MaxLineBytes fails with
+// its line number, like the sequential scanner does.
+func readChunks(r io.Reader, emit func(pooledChunk) bool) error {
+	var carry []byte // tail bytes after the last newline of the previous read; own backing
+	lines := 0       // complete lines emitted so far, for error context
 	for {
-		buf := make([]byte, len(leftover)+defaultChunkBytes)
-		copy(buf, leftover)
-		n, err := io.ReadFull(r, buf[len(leftover):])
-		buf = buf[:len(leftover)+n]
+		bp := getChunkBuf(len(carry) + defaultChunkBytes)
+		buf := (*bp)[:len(carry)+defaultChunkBytes]
+		copy(buf, carry)
+		n, err := io.ReadFull(r, buf[len(carry):])
+		buf = buf[:len(carry)+n]
 		eof := false
 		switch err {
 		case nil:
 		case io.EOF, io.ErrUnexpectedEOF:
 			eof = true
 		default:
+			putChunkBuf(bp)
 			return scanError(err, lines)
 		}
 		// Only the first line of buf can exceed the line ceiling: it alone
 		// continues the carried-over tail, while every later line is bounded
 		// by one read. Mirrors the sequential scanner's bufio.ErrTooLong.
 		if err := checkFirstLine(buf, lines); err != nil {
+			putChunkBuf(bp)
 			return err
 		}
 		if eof {
 			if len(buf) > 0 {
-				emit(buf)
+				emit(pooledChunk{data: buf, owner: bp})
+			} else {
+				putChunkBuf(bp)
 			}
 			return nil
 		}
 		idx := bytes.LastIndexByte(buf, '\n')
 		if idx < 0 {
-			leftover = buf // no line boundary yet; keep accumulating
+			// No line boundary yet: keep accumulating in carry (which
+			// never aliases the pooled buffer) and recycle.
+			carry = append(carry[:0], buf...)
+			putChunkBuf(bp)
 			continue
 		}
 		chunk := buf[:idx+1]
-		lines += bytes.Count(chunk, []byte{'\n'})
-		// Copy the tail: the chunk (and everything aliasing buf) is handed
-		// to a worker goroutine.
-		leftover = append([]byte(nil), buf[idx+1:]...)
-		if !emit(chunk) {
+		lines += bytes.Count(chunk, nl)
+		// Copy the tail before the emit hands buf to a worker goroutine.
+		carry = append(carry[:0], buf[idx+1:]...)
+		if !emit(pooledChunk{data: chunk, owner: bp}) {
 			return nil
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"unicode/utf8"
 
+	"gpuresilience/internal/intern"
 	"gpuresilience/internal/xid"
 )
 
@@ -56,19 +57,33 @@ func (c LineClass) String() string {
 }
 
 // ParseError is the typed field-parse failure ParseLine returns for lines
-// that match the Xid shape but carry a corrupt field.
+// that match the Xid shape but carry a corrupt field. The message renders
+// lazily in Error() — the classifiers on the hot path only ever read
+// Class, so a malformed line costs the field copy, not a fmt.Sprintf.
 type ParseError struct {
 	Class LineClass
-	msg   string
+	field string // raw text of the offending field
 	cause error
 }
 
 // Error implements error.
 func (e *ParseError) Error() string {
-	if e.cause != nil {
-		return e.msg + ": " + e.cause.Error()
+	var what string
+	switch e.Class {
+	case ClassBadTimestamp:
+		what = "bad timestamp"
+	case ClassBadPCIAddr:
+		what = "unknown PCI address"
+	case ClassBadXIDCode:
+		what = "bad code"
+	default:
+		what = "bad field"
 	}
-	return e.msg
+	msg := fmt.Sprintf("syslog: %s %q", what, e.field)
+	if e.cause != nil {
+		return msg + ": " + e.cause.Error()
+	}
+	return msg
 }
 
 // Unwrap exposes the underlying parse failure, when any.
@@ -237,13 +252,15 @@ const (
 	lineBad
 )
 
-// classifyLine classifies one complete (not overlong) line. Order matters
-// and is identical on the sequential and chunked paths: parse first — a
-// well-shaped record is accepted even if its free-text detail carries
-// damaged bytes — then flag unreadable non-matching lines as non-UTF-8,
-// and only then fall through to noise.
-func classifyLine(line string) (xid.Event, LineClass, lineKind) {
-	ev, ok, err := ParseLine(line)
+// classifyLine classifies one complete (not overlong) line, straight off
+// the reader's byte slice. Order matters and is identical on the
+// sequential and chunked paths: parse first — a well-shaped record is
+// accepted even if its free-text detail carries damaged bytes — then flag
+// unreadable non-matching lines as non-UTF-8, and only then fall through
+// to noise. Event strings come from the interner, so the caller may reuse
+// line's backing array immediately.
+func classifyLine(line []byte, in *intern.Interner) (xid.Event, LineClass, lineKind) {
+	ev, ok, err := parseLineBytes(line, in)
 	if err != nil {
 		var pe *ParseError
 		if errors.As(err, &pe) {
@@ -254,7 +271,7 @@ func classifyLine(line string) (xid.Event, LineClass, lineKind) {
 	if ok {
 		return ev, 0, lineRecord
 	}
-	if !utf8.ValidString(line) {
+	if !utf8.Valid(line) {
 		return xid.Event{}, ClassNonUTF8, lineBad
 	}
 	return xid.Event{}, 0, lineNoise
@@ -363,8 +380,16 @@ func (s *reportState) finish() error {
 //
 // The returned report is always non-nil, including alongside an error.
 func ExtractLenient(r io.Reader, opt LenientOptions, fn func(xid.Event) error) (*IngestionReport, error) {
+	return extractLenientSeq(r, opt, nil, fn)
+}
+
+// extractLenientSeq is ExtractLenient with interner accounting: a non-nil
+// alloc receives the whole-stream interner's hit/miss totals.
+func extractLenientSeq(r io.Reader, opt LenientOptions, alloc *intern.Stats, fn func(xid.Event) error) (*IngestionReport, error) {
 	opt = opt.withDefaults()
 	st := newReportState(opt)
+	in := getInterner()
+	defer releaseInterner(in, alloc)
 	br := bufio.NewReaderSize(r, scanBufBytes)
 	for {
 		line, overlong, err := readLenientLine(br, opt.MaxLineBytes)
@@ -382,7 +407,7 @@ func ExtractLenient(r io.Reader, opt LenientOptions, fn func(xid.Event) error) (
 			continue
 		}
 		line = trimCR(line)
-		ev, class, kind := classifyLine(string(line))
+		ev, class, kind := classifyLine(line, in)
 		switch kind {
 		case lineRecord:
 			st.rep.Records++

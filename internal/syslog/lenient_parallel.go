@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"gpuresilience/internal/intern"
 	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/xid"
 )
@@ -13,9 +14,12 @@ import (
 // lenChunk is one unit of work for the lenient sharded extractor: a
 // line-aligned byte range plus the samples of any overlong lines the chunk
 // reader discarded immediately before it (stream order: pre, then data).
+// owner, when non-nil, is the pooled buffer backing data; the worker
+// returns it once the chunk is classified.
 type lenChunk struct {
-	pre  []string // quarantine samples of discarded overlong lines
-	data []byte
+	pre   []string // quarantine samples of discarded overlong lines
+	data  []byte
+	owner *[]byte
 }
 
 // lenChunkResult is one worker's classification of its chunk. Quarantine
@@ -25,6 +29,7 @@ type lenChunk struct {
 type lenChunkResult struct {
 	events []xid.Event
 	part   IngestionReport
+	alloc  intern.Stats
 }
 
 // ExtractLenientParallel is the corruption-tolerant Stage I on the sharded
@@ -37,7 +42,7 @@ type lenChunkResult struct {
 // also worker-count-invariant, though the counts inside a failing report
 // reflect the abort point.
 func ExtractLenientParallel(r io.Reader, workers int, opt LenientOptions, fn func(xid.Event) error) (*IngestionReport, error) {
-	return ExtractLenientParallelMeter(r, workers, opt, nil, fn)
+	return ExtractLenientParallelAlloc(r, workers, opt, nil, nil, fn)
 }
 
 // ExtractLenientParallelMeter is ExtractLenientParallel with per-worker
@@ -45,19 +50,34 @@ func ExtractLenientParallel(r io.Reader, workers int, opt LenientOptions, fn fun
 // each chunk's classification time against the worker that ran it; a nil
 // meter runs the exact unmetered path.
 func ExtractLenientParallelMeter(r io.Reader, workers int, opt LenientOptions, meter parallel.WorkerMeter, fn func(xid.Event) error) (*IngestionReport, error) {
+	return ExtractLenientParallelAlloc(r, workers, opt, meter, nil, fn)
+}
+
+// ExtractLenientParallelAlloc additionally accumulates the run's interner
+// hit/miss/byte totals into a non-nil alloc, deterministically at a fixed
+// worker count (see ExtractParallelAlloc).
+func ExtractLenientParallelAlloc(r io.Reader, workers int, opt LenientOptions, meter parallel.WorkerMeter, alloc *intern.Stats, fn func(xid.Event) error) (*IngestionReport, error) {
 	opt = opt.withDefaults()
 	workers = parallel.Resolve(workers)
 	if workers <= 1 {
 		if meter == nil {
-			return ExtractLenient(r, opt, fn)
+			return extractLenientSeq(r, opt, alloc, fn)
 		}
 		start := time.Now()
-		rep, err := ExtractLenient(r, opt, fn)
+		rep, err := extractLenientSeq(r, opt, alloc, fn)
 		meter(0, time.Since(start))
 		return rep, err
 	}
 	pool := parallel.NewOrderedMeter(workers, 2*workers, meter, func(c lenChunk) (lenChunkResult, error) {
-		return parseChunkLenient(c, opt), nil
+		in := getInterner()
+		res := parseChunkLenient(c, opt, in)
+		res.alloc = in.Stats()
+		in.Reset()
+		internerPool.Put(in)
+		if c.owner != nil {
+			putChunkBuf(c.owner)
+		}
+		return res, nil
 	})
 
 	readErr := make(chan error, 1)
@@ -79,6 +99,9 @@ func ExtractLenientParallelMeter(r io.Reader, workers int, opt LenientOptions, m
 		base := st.rep.Lines
 		st.rep.Lines += out.part.Lines
 		st.rep.Noise += out.part.Noise
+		if alloc != nil {
+			alloc.Add(out.alloc)
+		}
 		for _, q := range out.part.Quarantine {
 			q.Line += base
 			if st.qn[q.Class] < opt.QuarantinePerClass {
@@ -121,7 +144,7 @@ func ExtractLenientParallelMeter(r io.Reader, workers int, opt LenientOptions, m
 // per-line rules. Overlong lines inside the chunk (possible when the
 // ceiling is below the chunk size, or for the carried-over first line) are
 // classified like the chunk reader's discarded ones.
-func parseChunkLenient(c lenChunk, opt LenientOptions) lenChunkResult {
+func parseChunkLenient(c lenChunk, opt LenientOptions, in *intern.Interner) lenChunkResult {
 	st := newReportState(opt)
 	var out lenChunkResult
 	for _, sample := range c.pre {
@@ -142,7 +165,7 @@ func parseChunkLenient(c lenChunk, opt LenientOptions) lenChunkResult {
 			continue
 		}
 		line = trimCR(line)
-		ev, class, kind := classifyLine(string(line))
+		ev, class, kind := classifyLine(line, in)
 		switch kind {
 		case lineRecord:
 			out.events = append(out.events, ev)
@@ -160,20 +183,22 @@ func parseChunkLenient(c lenChunk, opt LenientOptions) lenChunkResult {
 // survives overlong lines: when the carried-over tail outgrows the line
 // ceiling without a newline, the line's leading sample is retained, the
 // rest is discarded up to the next newline, and the overlong line rides
-// along as the next chunk's pre entry — keeping stream order exact. emit
+// along as the next chunk's pre entry — keeping stream order exact. The
+// read buffer is reused across reads and emitted chunks come from the
+// shared buffer pool (ownership passes to the parsing worker). emit
 // reports false when the consumer aborted.
 func readChunksLenient(r io.Reader, max int, emit func(lenChunk) bool) error {
 	var (
-		leftover   []byte
+		leftover   []byte // own backing, never aliases readBuf or pooled chunks
 		pre        []string
 		sample     string
 		discarding bool
 		lines      int // complete lines consumed, for read-error context
+		readBuf    = make([]byte, defaultChunkBytes)
 	)
 	for {
-		buf := make([]byte, defaultChunkBytes)
-		n, rerr := io.ReadFull(r, buf)
-		data := buf[:n]
+		n, rerr := io.ReadFull(r, readBuf)
+		data := readBuf[:n]
 		eof := rerr == io.EOF || rerr == io.ErrUnexpectedEOF
 		if rerr != nil && !eof {
 			return fmt.Errorf("syslog: read failed at line %d: %w", lines+1, rerr)
@@ -196,14 +221,15 @@ func readChunksLenient(r io.Reader, max int, emit func(lenChunk) bool) error {
 				leftover = append(leftover, data...)
 				data = nil
 			} else {
-				chunk := make([]byte, 0, len(leftover)+idx+1)
+				bp := getChunkBuf(len(leftover) + idx + 1)
+				chunk := (*bp)[:0]
 				chunk = append(chunk, leftover...)
 				chunk = append(chunk, data[:idx+1]...)
 				leftover = leftover[:0]
 				tail := data[idx+1:]
 				data = nil
-				lines += bytes.Count(chunk, []byte{'\n'})
-				if !emit(lenChunk{pre: pre, data: chunk}) {
+				lines += bytes.Count(chunk, nl)
+				if !emit(lenChunk{pre: pre, data: chunk, owner: bp}) {
 					return nil
 				}
 				pre = nil

@@ -15,11 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"regexp"
-	"strconv"
 	"strings"
 	"time"
 
+	"gpuresilience/internal/intern"
 	"gpuresilience/internal/randx"
 	"gpuresilience/internal/xid"
 )
@@ -37,28 +36,13 @@ func PCIAddr(i int) string {
 	return fmt.Sprintf("0001:%02X:00", i&0xff)
 }
 
-// syntheticPCIRE is the exact shape of PCIAddr's synthetic fallback
-// addresses: domain 0001, a two-digit hex device, function 00. Anything
-// looser (short widths, trailing garbage) is a corrupt address, not data —
-// fmt.Sscanf would accept both, so the inverse mapping validates the full
-// shape before parsing the device byte.
-var syntheticPCIRE = regexp.MustCompile(`^0001:([0-9A-Fa-f]{2}):00$`)
-
-// GPUIndex inverts PCIAddr. The boolean is false for unknown addresses.
+// GPUIndex inverts PCIAddr. The boolean is false for unknown addresses:
+// real slots must match the board layout's uppercase "0000:XX:00" form
+// exactly, synthetic addresses the "0001:hh:00" shape (either hex case).
+// Anything looser (short widths, trailing garbage) is a corrupt address,
+// not data.
 func GPUIndex(addr string) (int, bool) {
-	for i := range pciBases {
-		if PCIAddr(i) == addr {
-			return i, true
-		}
-	}
-	if m := syntheticPCIRE.FindStringSubmatch(addr); m != nil {
-		bus, err := strconv.ParseUint(m[1], 16, 8)
-		if err != nil {
-			return 0, false
-		}
-		return int(bus), true
-	}
-	return 0, false
+	return gpuIndexSeq(addr)
 }
 
 // timeLayout is the consolidated-log timestamp format (microsecond UTC).
@@ -196,10 +180,6 @@ func (w *Writer) Lines() int { return w.lines }
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// xidLineRE is the Stage I extraction pattern.
-var xidLineRE = regexp.MustCompile(
-	`^(\S+) (\S+) kernel: NVRM: Xid \(PCI:([0-9A-Fa-f:]+)\): (\d+), pid=\d+, name=\S*, (.*)$`)
-
 // Scanner sizing for the raw-log readers. A consolidated syslog line is a
 // few hundred bytes; MaxLineBytes is the hard ceiling past which a line is
 // treated as log corruption rather than data, so a pathological unterminated
@@ -223,12 +203,22 @@ type ExtractStats struct {
 // for each. It is the pipeline's Stage I (sequential path; ExtractParallel
 // is the sharded equivalent and produces identical events and stats).
 func Extract(r io.Reader, fn func(xid.Event) error) (ExtractStats, error) {
+	return extractSeq(r, nil, fn)
+}
+
+// extractSeq is the sequential Stage I scan. It parses straight off
+// sc.Bytes() — no per-line string copy, even for skipped noise lines — and
+// runs one whole-stream interner so repeated node names and details cost a
+// single allocation each. A non-nil alloc receives the interner totals.
+func extractSeq(r io.Reader, alloc *intern.Stats, fn func(xid.Event) error) (ExtractStats, error) {
 	var st ExtractStats
+	in := getInterner()
+	defer releaseInterner(in, alloc)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, scanBufBytes), MaxLineBytes)
 	for sc.Scan() {
 		st.Lines++
-		ev, ok, err := ParseLine(sc.Text())
+		ev, ok, err := parseLineBytes(sc.Bytes(), in)
 		if err != nil {
 			st.Malformed++
 			continue
@@ -267,39 +257,28 @@ const maxXIDCode = 1023
 // ParseLine parses one raw line. ok is false for non-Xid lines; err is
 // non-nil for lines that match the Xid shape but have unparseable fields —
 // always a *ParseError carrying the corruption category (see LineClass).
+//
+// The matcher is the hand-rolled byte parser of parse_bytes.go; the
+// historical regex it replaced survives as the differential-test oracle in
+// parse_oracle_test.go. A well-formed line parses without allocating: the
+// event's strings are substrings of line.
 func ParseLine(line string) (ev xid.Event, ok bool, err error) {
-	m := xidLineRE.FindStringSubmatch(line)
-	if m == nil {
+	if strings.IndexByte(line, '\n') >= 0 {
+		// The anchored pattern can never match across a newline.
 		return xid.Event{}, false, nil
 	}
-	ts, err := time.Parse(timeLayout, m[1])
-	if err != nil {
-		return xid.Event{}, false, &ParseError{
-			Class: ClassBadTimestamp,
-			msg:   fmt.Sprintf("syslog: bad timestamp %q", m[1]),
-			cause: err,
-		}
+	f, ts, gpu, code, shaped, perr := parseLineCore(line)
+	if !shaped {
+		return xid.Event{}, false, nil
 	}
-	gpu, found := GPUIndex(m[3])
-	if !found {
-		return xid.Event{}, false, &ParseError{
-			Class: ClassBadPCIAddr,
-			msg:   fmt.Sprintf("syslog: unknown PCI address %q", m[3]),
-		}
-	}
-	code, err := strconv.Atoi(m[4])
-	if err != nil || code > maxXIDCode {
-		return xid.Event{}, false, &ParseError{
-			Class: ClassBadXIDCode,
-			msg:   fmt.Sprintf("syslog: bad code %q", m[4]),
-			cause: err,
-		}
+	if perr != nil {
+		return xid.Event{}, false, perr
 	}
 	return xid.Event{
 		Time:   ts,
-		Node:   m[2],
+		Node:   line[f.nodeLo:f.nodeHi],
 		GPU:    gpu,
 		Code:   xid.Code(code),
-		Detail: m[5],
+		Detail: line[f.detailLo:],
 	}, true, nil
 }
