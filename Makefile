@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples fmt vet clean
+.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples fmt vet lint lint-baseline clean
 
 all: build test
 
@@ -70,6 +70,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Run the repo's custom analyzers (internal/lint) over every package.
+# Fails on any error-severity finding not in lint_baseline.json; see
+# docs/static-analysis.md for the analyzer list and //lint:allow escapes.
+lint:
+	$(GO) run ./cmd/gpulint ./...
+
+# Regenerate the suppression baseline from current findings. Keep it empty:
+# fix or //lint:allow new findings instead of baselining them, and reserve
+# this for bootstrapping a newly added analyzer.
+lint-baseline:
+	$(GO) run ./cmd/gpulint -write-baseline ./...
 
 clean:
 	$(GO) clean -testcache

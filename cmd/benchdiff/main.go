@@ -127,7 +127,7 @@ func loadSet(path string) (*benchfmt.Set, error) {
 	}
 	var set benchfmt.Set
 	if err := json.Unmarshal(data, &set); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(set.Benchmarks) == 0 {
 		return nil, fmt.Errorf("%s: no benchmarks", path)

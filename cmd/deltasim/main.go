@@ -87,7 +87,7 @@ func run(args []string, stdout io.Writer) error {
 		return werr
 	})
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-time metering for the summary line
 	res, err := sim.Run()
 	if err != nil {
 		return err
@@ -134,6 +134,6 @@ func run(args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "wrote %s: %d raw log lines (%d true errors), %d jobs, %d repairs in %v\n",
 		*out, writer.Lines(), len(res.Events), len(res.Jobs), len(res.Downtimes),
-		time.Since(start).Round(time.Millisecond))
+		time.Since(start).Round(time.Millisecond)) //lint:allow determinism wall-time metering for the summary line
 	return obsFl.Emit(stdout, man)
 }

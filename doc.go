@@ -44,10 +44,14 @@
 // are hand-rolled byte parsers held to their historical regex/strings
 // implementations by differential fuzzing, with a committed benchmark
 // baseline (BENCH_baseline.json) gated in CI — docs/performance.md has the
-// design and the workflow. The docs/ tree documents the
+// design and the workflow. The invariants behind those guarantees are also
+// machine-checked at the source level by cmd/gpulint, a dependency-free
+// static-analysis pass built on go/types (internal/lint); see
+// docs/static-analysis.md. The docs/ tree documents the
 // pipeline (docs/pipeline.md), the dataset file formats
 // (docs/file-formats.md), the CLI tools (docs/cli.md),
 // corruption-tolerant ingestion (docs/robustness.md), the
-// observability layer (docs/observability.md), and the performance
-// engineering (docs/performance.md).
+// observability layer (docs/observability.md), the performance
+// engineering (docs/performance.md), and the custom static analysis
+// (docs/static-analysis.md).
 package gpuresilience

@@ -79,7 +79,7 @@ func Parse(r io.Reader) (*Set, error) {
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchfmt: line %d: bad value %q: %v", lineNo, f[i], err)
+				return nil, fmt.Errorf("benchfmt: line %d: bad value %q: %w", lineNo, f[i], err)
 			}
 			switch f[i+1] {
 			case "ns/op":

@@ -34,9 +34,12 @@ func Workers(fs *flag.FlagSet) *int {
 
 // LenientFlags carries the corruption-tolerance trio.
 type LenientFlags struct {
-	Lenient     *bool
+	// Lenient is the -lenient toggle.
+	Lenient *bool
+	// MaxBadLines is the -max-bad-lines absolute error budget.
 	MaxBadLines *int
-	MaxBadFrac  *float64
+	// MaxBadFrac is the -max-bad-frac fractional error budget.
+	MaxBadFrac *float64
 }
 
 // Lenient registers -lenient, -max-bad-lines, and -max-bad-frac.
@@ -59,9 +62,12 @@ func (l *LenientFlags) Apply(cfg *core.PipelineConfig) {
 // ObsFlags carries the observability trio. Instrumentation stays off — a
 // nil registry everywhere — unless at least one of the flags is set.
 type ObsFlags struct {
-	Metrics     *bool
+	// Metrics is the -metrics toggle (human-readable section on stdout).
+	Metrics *bool
+	// MetricsJSON is the -metrics-json output path ("" = off).
 	MetricsJSON *string
-	Pprof       *string
+	// Pprof is the -pprof listen address ("" = off).
+	Pprof *string
 
 	reg *obs.Registry
 }

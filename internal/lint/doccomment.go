@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// docPkgs are the packages held to full doc-comment coverage: the
+// observability API (threaded through every stage) and the shared CLI flag
+// surface. Warn-only: missing docs never gate CI, they nag.
+var docPkgs = map[string]bool{
+	"obs":      true,
+	"cliflags": true,
+}
+
+// DocComment warns about exported identifiers — functions, methods, types,
+// package-level vars/consts, and exported struct fields — that carry no doc
+// comment, in the packages whose APIs the rest of the repo programs against.
+var DocComment = &Analyzer{
+	Name:     "doccomment",
+	Doc:      "exported identifiers in obs and cliflags must carry doc comments",
+	Severity: SevWarn,
+	Run:      runDocComment,
+}
+
+func runDocComment(p *Pass) {
+	if !docPkgs[p.Pkg.Name] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					p.Reportf(d.Name.Pos(), "exported %s %s is missing a doc comment", kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDeclDocs(p, d)
+			}
+		}
+	}
+}
+
+// checkGenDeclDocs warns on undocumented exported specs in a type/var/const
+// declaration. A doc comment on the enclosing group counts for its members
+// (the conventional style for const blocks), as does a trailing line
+// comment; exported struct fields are checked the same way.
+func checkGenDeclDocs(p *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+				p.Reportf(s.Name.Pos(), "exported type %s is missing a doc comment", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				checkFieldDocs(p, s.Name.Name, st)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+					p.Reportf(name.Pos(), "exported value %s is missing a doc comment", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFieldDocs warns on undocumented exported fields of an exported
+// struct type. Embedded fields are skipped — their documentation lives on
+// the embedded type.
+func checkFieldDocs(p *Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				p.Reportf(name.Pos(), "exported field %s.%s is missing a doc comment", typeName, name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotPkgs are the Stage I/II hot-path packages held to the zero-allocation
+// budgets in docs/performance.md.
+var hotPkgs = map[string]bool{
+	"syslog":   true,
+	"slurmsim": true,
+	"coalesce": true,
+	"intern":   true,
+	"fasttime": true,
+}
+
+// HotAlloc enforces the hot-path allocation discipline the perf gate
+// measures: no fmt.Sprint* formatting, regexps compiled once (package var
+// or init), and no per-iteration []byte→string conversions or string
+// concatenation inside loops. Error() and String() methods are exempt —
+// they render cold-path diagnostics by convention — and intentional
+// deviations carry a //lint:allow hotalloc directive with a reason.
+var HotAlloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "hot-path packages must not Sprintf, re-compile regexps, or allocate strings inside loops",
+	Severity: SevError,
+	Run:      runHotAlloc,
+}
+
+// sprintFuncs are the fmt formatters that always allocate their result.
+var sprintFuncs = map[string]bool{"Sprintf": true, "Sprint": true, "Sprintln": true}
+
+func runHotAlloc(p *Pass) {
+	if !hotPkgs[p.Pkg.Name] {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if isColdRenderMethod(n) {
+					return false // Error()/String() are cold-path by convention
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				switch {
+				case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sprintFuncs[fn.Name()]:
+					p.Reportf(n.Pos(), "fmt.%s allocates its result; hot-path packages format with strconv.Append*/byte slices (see docs/performance.md alloc budgets)", fn.Name())
+				case isPkgFunc(fn, "regexp", "MustCompile") || isPkgFunc(fn, "regexp", "Compile"):
+					if !inPackageVarOrInit(stack) {
+						p.Reportf(n.Pos(), "regexp.%s outside a package-level var or init re-compiles per call; hoist the pattern", fn.Name())
+					}
+				default:
+					if conv, from := byteStringConversion(info, n); conv && inLoop(n, stack) {
+						p.Reportf(n.Pos(), "%s conversion inside a loop allocates per iteration; parse from the byte slice or hoist the conversion", from)
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && isStringType(info.TypeOf(n)) && inLoop(n, stack) && !parentIsStringAdd(info, stack) {
+					p.Reportf(n.Pos(), "string concatenation inside a loop allocates per iteration; build into a reusable []byte instead")
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) && inLoop(n, stack) {
+					p.Reportf(n.Pos(), "string += inside a loop allocates per iteration; build into a reusable []byte instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isColdRenderMethod reports whether fd is an Error() or String() method —
+// the two conventional cold-path renderers.
+func isColdRenderMethod(fd *ast.FuncDecl) bool {
+	return fd.Recv != nil && (fd.Name.Name == "Error" || fd.Name.Name == "String")
+}
+
+// inPackageVarOrInit reports whether the node whose ancestor stack is given
+// sits in a package-level var initializer or an init function.
+func inPackageVarOrInit(stack []ast.Node) bool {
+	for i, n := range stack {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			// File-level var blocks only: the GenDecl's parent is the file.
+			if n.Tok == token.VAR && i > 0 {
+				if _, isFile := stack[i-1].(*ast.File); isFile {
+					return true
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Recv == nil && n.Name.Name == "init" {
+				return true
+			}
+		case *ast.FuncLit:
+			// A function literal defers evaluation: a regexp compiled inside
+			// one assigned to a package var (e.g. lazy helpers) still
+			// executes at call time, so keep scanning outward only if the
+			// literal itself is a package-var initializer value. The
+			// conservative answer is "not hoisted".
+			return false
+		}
+	}
+	return false
+}
+
+// inLoop reports whether n executes once per loop iteration: some ancestor
+// is a for/range statement and n is inside the per-iteration parts (body,
+// condition, or post statement — not a for-init or a range operand, which
+// evaluate once).
+func inLoop(n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ForStmt:
+			if withinAny(n, []ast.Node{s.Body, s.Cond, s.Post}) {
+				return true
+			}
+		case *ast.RangeStmt:
+			if withinAny(n, []ast.Node{s.Body}) {
+				return true
+			}
+		case *ast.FuncLit:
+			// A closure body runs on its own schedule; the enclosing loop
+			// does not make each closure call per-iteration. (A closure
+			// *called* in a loop is caught at its call site's loop check.)
+			return false
+		}
+	}
+	return false
+}
+
+// byteStringConversion reports whether call is a string(x) conversion from
+// []byte or []rune, returning a label for the message.
+func byteStringConversion(info *types.Info, call *ast.CallExpr) (bool, string) {
+	if len(call.Args) != 1 {
+		return false, ""
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isStringType(tv.Type) {
+		return false, ""
+	}
+	argT := info.TypeOf(call.Args[0])
+	if argT == nil {
+		return false, ""
+	}
+	slice, ok := argT.Underlying().(*types.Slice)
+	if !ok {
+		return false, ""
+	}
+	if b, ok := slice.Elem().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Byte:
+			return true, "[]byte→string"
+		case types.Rune:
+			return true, "[]rune→string"
+		}
+	}
+	return false, ""
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// parentIsStringAdd reports whether the innermost ancestor is itself a
+// string + expression, so an a+b+c chain reports once, at the top.
+func parentIsStringAdd(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		be, ok := stack[i].(*ast.BinaryExpr)
+		return ok && be.Op == token.ADD && isStringType(info.TypeOf(be))
+	}
+	return false
+}

@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked target package: the parsed files the analyzers
+// walk plus the go/types results they query.
+type Package struct {
+	// ImportPath is the package's import path ("gpuresilience/internal/syslog",
+	// or a synthetic "fixture/<dir>" path for LoadDir packages).
+	ImportPath string
+	// Name is the declared package name ("syslog").
+	Name string
+	// Dir is the absolute directory the files live in.
+	Dir string
+	// Files are the parsed non-test files, in deterministic (sorted) order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's expression/object tables.
+	Info *types.Info
+}
+
+// Module is a loaded set of packages sharing one file set.
+type Module struct {
+	// Fset positions every file in every loaded package.
+	Fset *token.FileSet
+	// Root is the directory findings are rendered relative to: the module
+	// root for Load, the fixture directory for LoadDir.
+	Root string
+	// Pkgs are the target packages, sorted by import path.
+	Pkgs []*Package
+}
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir is the working directory patterns resolve in; "" means the
+	// process's current directory. It must be inside a Go module.
+	Dir string
+	// Patterns are go-list package patterns; nil means ./... .
+	Patterns []string
+	// Overlay injects extra in-memory files into packages before
+	// type-checking, keyed by module-root-relative path (forward slashes).
+	// The lint self-tests use it to prove a deliberately planted violation
+	// is caught without touching the tree.
+	Overlay map[string]string
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+}
+
+// Load lists the packages matching cfg.Patterns with the go tool, then
+// parses and type-checks each matched (non-test) package from source.
+// Dependencies — the standard library included — are imported from the
+// compiler's export data, which `go list -export` produces as a side effect,
+// so the loader needs nothing beyond the toolchain and the standard library.
+func Load(cfg LoadConfig) (*Module, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, err := findModuleRoot(absDir)
+	if err != nil {
+		return nil, err
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Overlay files may import packages the matched set does not; list them
+	// too so their export data is available.
+	args := append([]string{}, patterns...)
+	overlayImports, err := overlayImportPaths(cfg.Overlay)
+	if err != nil {
+		return nil, err
+	}
+	args = append(args, overlayImports...)
+	listed, err := goList(absDir, args)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, listed)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		files := make([]parseInput, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			files = append(files, parseInput{path: filepath.Join(lp.Dir, name)})
+		}
+		for rel, src := range cfg.Overlay {
+			p := filepath.Join(root, filepath.FromSlash(rel))
+			if filepath.Dir(p) == filepath.Clean(lp.Dir) {
+				files = append(files, parseInput{path: p, src: src})
+			}
+		}
+		pkg, err := checkPackage(fset, lp.ImportPath, lp.Dir, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return &Module{Fset: fset, Root: root, Pkgs: pkgs}, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir — the
+// fixture-package loader behind the analyzer tests. The directory must hold
+// one package whose imports resolve through the enclosing module (fixtures
+// import only the standard library).
+func LoadDir(dir string) (*Module, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(absDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []parseInput
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		files = append(files, parseInput{path: filepath.Join(absDir, e.Name())})
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].path < files[j].path })
+
+	// Collect the fixture's imports so goList can surface export data for
+	// them (and their transitive dependencies).
+	imports := map[string]bool{}
+	fsetScan := token.NewFileSet()
+	for _, in := range files {
+		f, err := parser.ParseFile(fsetScan, in.path, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+	root, err := findModuleRoot(absDir)
+	if err != nil {
+		return nil, err
+	}
+	var listed []listedPkg
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err = goList(root, paths)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, listed)
+	pkg, err := checkPackage(fset, "fixture/"+filepath.Base(absDir), absDir, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{Fset: fset, Root: absDir, Pkgs: []*Package{pkg}}, nil
+}
+
+// parseInput names one file to parse; src, when non-empty, overrides the
+// on-disk content (overlay files).
+type parseInput struct {
+	path string
+	src  string
+}
+
+// checkPackage parses the files and runs the go/types checker over them.
+func checkPackage(fset *token.FileSet, importPath, dir string, inputs []parseInput, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, in := range inputs {
+		var src any
+		if in.src != "" {
+			src = in.src
+		}
+		f, err := parser.ParseFile(fset, in.path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, errors.Join(typeErrs...))
+	}
+	return &Package{
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// goList runs `go list -export -deps -json` over args in dir and decodes the
+// package stream.
+func goList(dir string, args []string) ([]listedPkg, error) {
+	cmdArgs := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Standard,DepOnly,Export",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, errb.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// newExportImporter wraps the toolchain's gc export-data importer with a
+// lookup over the export files `go list -export` reported.
+func newExportImporter(fset *token.FileSet, listed []listedPkg) types.Importer {
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// overlayImportPaths parses each overlay source's import block.
+func overlayImportPaths(overlay map[string]string) ([]string, error) {
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	var keys []string
+	for k := range overlay {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var paths []string
+	for _, k := range keys {
+		f, err := parser.ParseFile(fset, k, overlay[k], parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lint: overlay %s: %w", k, err)
+		}
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if p != "unsafe" && !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths, nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolHygiene guards the sync.Pool protocol the zero-allocation hot paths
+// depend on: a value Put into a pool must have the exact type the pool's
+// New constructor produces (a mismatch silently poisons every later Get
+// assertion), a Get must be asserted to that same type, and a Get result
+// must be asserted once — re-asserting the same interface value re-does the
+// dynamic type check the first assertion already paid for.
+var PoolHygiene = &Analyzer{
+	Name:     "poolhygiene",
+	Doc:      "sync.Pool Put/Get types must match the pool's New type, asserted exactly once",
+	Severity: SevError,
+	Run:      runPoolHygiene,
+}
+
+func runPoolHygiene(p *Pass) {
+	pools := collectPoolNewTypes(p)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkPoolPut(p, pools, n)
+			case *ast.TypeAssertExpr:
+				checkPoolGetAssert(p, pools, n)
+			case *ast.FuncDecl:
+				checkRepeatAsserts(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// collectPoolNewTypes maps each sync.Pool variable (or field) object to the
+// concrete type its New constructor returns. Pools without a New — or whose
+// New does not end in a single-value return — stay untracked.
+func collectPoolNewTypes(p *Pass) map[types.Object]types.Type {
+	info := p.Pkg.Info
+	pools := map[types.Object]types.Type{}
+	for _, f := range p.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isSyncPoolType(info.TypeOf(cl)) {
+				return true
+			}
+			newType := poolNewReturnType(info, cl)
+			if newType == nil {
+				return true
+			}
+			if obj := poolOwner(info, cl, stack); obj != nil {
+				pools[obj] = newType
+			}
+			return true
+		})
+	}
+	return pools
+}
+
+// poolOwner resolves the variable a sync.Pool composite literal initializes
+// by walking the enclosing declaration or assignment.
+func poolOwner(info *types.Info, cl *ast.CompositeLit, stack []ast.Node) *types.Var {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.UnaryExpr, *ast.ParenExpr:
+			continue
+		case *ast.ValueSpec:
+			for j, v := range s.Values {
+				if containsNode(v, cl) && j < len(s.Names) {
+					obj, _ := info.Defs[s.Names[j]].(*types.Var)
+					return obj
+				}
+			}
+			return nil
+		case *ast.AssignStmt:
+			for j, rhs := range s.Rhs {
+				if containsNode(rhs, cl) && j < len(s.Lhs) {
+					if id, ok := ast.Unparen(s.Lhs[j]).(*ast.Ident); ok {
+						if obj, _ := info.Defs[id].(*types.Var); obj != nil {
+							return obj
+						}
+						obj, _ := info.Uses[id].(*types.Var)
+						return obj
+					}
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// containsNode reports whether inner lies within outer's source range.
+func containsNode(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// poolNewReturnType extracts the type returned by a pool literal's New
+// function, when it is a func literal whose body is a single return.
+func poolNewReturnType(info *types.Info, cl *ast.CompositeLit) types.Type {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "New" {
+			continue
+		}
+		fl, ok := kv.Value.(*ast.FuncLit)
+		if !ok || len(fl.Body.List) == 0 {
+			return nil
+		}
+		ret, ok := fl.Body.List[len(fl.Body.List)-1].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return nil
+		}
+		return info.TypeOf(ret.Results[0])
+	}
+	return nil
+}
+
+// isSyncPoolType reports whether t is sync.Pool (or *sync.Pool).
+func isSyncPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// poolMethodCall resolves call as pool.<name>() on a tracked or untracked
+// sync.Pool, returning the pool's object (nil when unresolvable).
+func poolMethodCall(info *types.Info, call *ast.CallExpr, name string) (types.Object, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != name {
+		return nil, false
+	}
+	// Resolve the receiver expression to a variable or field object.
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return info.Uses[x], true
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel], true
+	}
+	return nil, true
+}
+
+// checkPoolPut flags Put arguments whose concrete type differs from the
+// pool's New type. Interface-typed arguments are skipped: their dynamic
+// type is not statically known.
+func checkPoolPut(p *Pass, pools map[types.Object]types.Type, call *ast.CallExpr) {
+	obj, isPut := poolMethodCall(p.Pkg.Info, call, "Put")
+	if !isPut || obj == nil || len(call.Args) != 1 {
+		return
+	}
+	newType, tracked := pools[obj]
+	if !tracked {
+		return
+	}
+	argT := p.Pkg.Info.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	if _, isIface := argT.Underlying().(*types.Interface); isIface {
+		return
+	}
+	if !types.Identical(argT, newType) {
+		p.Reportf(call.Args[0].Pos(),
+			"sync.Pool.Put of %s into a pool whose New returns %s: the mismatch poisons every later Get assertion",
+			argT, newType)
+	}
+}
+
+// checkPoolGetAssert flags pool.Get().(T) where T is not the New type.
+func checkPoolGetAssert(p *Pass, pools map[types.Object]types.Type, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil { // type switch
+		return
+	}
+	call, ok := ast.Unparen(ta.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	obj, isGet := poolMethodCall(p.Pkg.Info, call, "Get")
+	if !isGet || obj == nil {
+		return
+	}
+	newType, tracked := pools[obj]
+	if !tracked {
+		return
+	}
+	assertedT := p.Pkg.Info.TypeOf(ta.Type)
+	if assertedT != nil && !types.Identical(assertedT, newType) {
+		p.Reportf(ta.Type.Pos(),
+			"sync.Pool.Get asserted to %s but the pool's New returns %s", assertedT, newType)
+	}
+}
+
+// checkRepeatAsserts flags variables bound to a pool.Get() result that are
+// type-asserted more than once within the function.
+func checkRepeatAsserts(p *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	info := p.Pkg.Info
+	getVars := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, isGet := poolMethodCall(info, call, "Get"); !isGet {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				getVars[obj] = true
+			}
+		}
+		return true
+	})
+	if len(getVars) == 0 {
+		return
+	}
+	asserted := map[types.Object]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ta, ok := n.(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil {
+			return true
+		}
+		id, ok := ast.Unparen(ta.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !getVars[obj] {
+			return true
+		}
+		asserted[obj]++
+		if asserted[obj] > 1 {
+			p.Reportf(ta.Pos(),
+				"sync.Pool.Get result %s is type-asserted more than once; assert once and reuse the typed value", id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,72 @@
+// Package report is a determinism-analyzer fixture. It reuses the real
+// output-package name so the map-iteration rule applies here.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock twice; both reads are flagged.
+func Clock() time.Duration {
+	start := time.Now()      // want `call to time\.Now outside simclock`
+	return time.Since(start) // want `call to time\.Since outside simclock`
+}
+
+// AllowedTrailing meters wall time with a trailing-comment escape.
+func AllowedTrailing() time.Time {
+	return time.Now() //lint:allow determinism fixture exercises the trailing directive form
+}
+
+// AllowedAbove meters wall time with a comment-above escape.
+func AllowedAbove() time.Time {
+	//lint:allow determinism fixture exercises the comment-above directive form
+	return time.Now()
+}
+
+// Roll draws from the unseeded global generator.
+func Roll() int {
+	return rand.Intn(6) // want `use of the global math/rand source`
+}
+
+// SeededRoll draws from an explicitly seeded stream and is fine.
+func SeededRoll(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Dump prints a map in iteration order: randomized bytes.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over a map feeds writer output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// DumpMethod writes through a Write method inside a map range; also flagged.
+func DumpMethod(w io.StringWriter, m map[string]int) {
+	for k := range m { // want `range over a map feeds writer output`
+		_, _ = w.WriteString(k)
+	}
+}
+
+// DumpSorted collects keys, sorts them, then prints — the sanctioned
+// pattern: nothing is written inside the map range itself.
+func DumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// SliceRange ranges over a slice, not a map; printing inside is fine.
+func SliceRange(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}

@@ -1,0 +1,21 @@
+// Package directive exercises //lint:allow parsing: well-formed directives
+// suppress, malformed ones are themselves reported so a typo cannot
+// silently disable a check.
+package directive
+
+import "time"
+
+// Stamp carries a well-formed directive; nothing is reported for it even
+// with the determinism analyzer enabled.
+func Stamp() time.Time {
+	return time.Now() //lint:allow determinism fixture exercises a valid directive
+}
+
+//lint:allow bogus some reason
+// want-1 `unknown analyzer "bogus"`
+
+//lint:allow determinism
+// want-1 `a reason is required`
+
+//lint:allow
+// want-1 `missing analyzer name and reason`

@@ -1,0 +1,36 @@
+// Package cliflags is a doccomment-analyzer fixture. It reuses a
+// doc-audited package name so the coverage rule applies here. Trailing
+// line comments count as documentation for specs and fields, so the
+// negative expectations below use the want-1 (previous line) form.
+package cliflags
+
+// Documented carries a doc comment; fine.
+func Documented() {}
+
+func Undocumented() {} // want `exported function Undocumented is missing a doc comment`
+
+// Config is documented.
+type Config struct {
+	// Workers is documented.
+	Workers int
+	// Trailing counts as documentation for a field.
+	Trailing int // trailing comment
+	Budget   int
+	// want-1 `exported field Config\.Budget is missing a doc comment`
+}
+
+type Hidden struct{ n int }
+
+// want-2 `exported type Hidden is missing a doc comment`
+
+// Limit is documented.
+const Limit = 8
+
+var Quiet = false
+
+// want-2 `exported value Quiet is missing a doc comment`
+
+// meter is unexported; only its exported method is audited.
+type meter struct{}
+
+func (meter) Report() {} // want `exported method Report is missing a doc comment`

@@ -1,0 +1,45 @@
+// Package errwrap exercises the error-wrapping analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Flattened formats an error with %v, severing the chain.
+func Flattened() error {
+	return fmt.Errorf("stage failed: %v", errBase) // want `use %w so callers can errors\.Is/As`
+}
+
+// FlattenedString formats an error with %s after a non-error verb.
+func FlattenedString(err error) error {
+	return fmt.Errorf("read %q: %s", "f.log", err) // want `use %w so callers can errors\.Is/As`
+}
+
+// Wrapped uses %w; fine.
+func Wrapped(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+// Mixed wraps the error and formats the rest; fine.
+func Mixed(path string, n int, err error) error {
+	return fmt.Errorf("%s: line %d: %w", path, n, err)
+}
+
+// NotAnError formats only non-error values; fine.
+func NotAnError(n int) error {
+	return fmt.Errorf("bad count %d (max %d, literal %%)", n, 100)
+}
+
+// Indexed uses explicit argument indexes the parser does not model; the
+// analyzer bails out rather than guessing.
+func Indexed(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}
+
+// Starred consumes an argument for the width; the error still lands on %v.
+func Starred(err error) error {
+	return fmt.Errorf("%*d %v", 8, 1, err) // want `use %w so callers can errors\.Is/As`
+}

@@ -1,0 +1,81 @@
+// Package syslog is a hotalloc-analyzer fixture. It reuses a hot-path
+// package name so the allocation discipline applies here.
+package syslog
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// hoisted is compiled once in a package-level var, the sanctioned place.
+var hoisted = regexp.MustCompile(`^a+$`)
+
+var initCompiled *regexp.Regexp
+
+func init() {
+	initCompiled = regexp.MustCompile(`^c+$`)
+}
+
+// Format allocates its result through Sprintf.
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates its result`
+}
+
+// AppendFormat is the sanctioned allocation-free shape.
+func AppendFormat(dst []byte, n int) []byte {
+	dst = append(dst, "n="...)
+	return strconv.AppendInt(dst, int64(n), 10)
+}
+
+// Escape carries an explicit allow directive.
+func Escape(n int) string {
+	return fmt.Sprintf("%d", n) //lint:allow hotalloc fixture exercises the escape hatch
+}
+
+// Match recompiles its pattern on every call.
+func Match(s string) bool {
+	re := regexp.MustCompile(`^b+$`) // want `regexp\.MustCompile outside a package-level var or init`
+	return re.MatchString(s) || hoisted.MatchString(s) || initCompiled.MatchString(s)
+}
+
+// Join converts and concatenates per iteration.
+func Join(parts [][]byte) string {
+	out := ""
+	for _, p := range parts {
+		s := string(p) // want `\[\]byte→string conversion inside a loop`
+		out += s       // want `string \+= inside a loop`
+	}
+	return out
+}
+
+// Concat reports the a+b+c chain once, at the outermost +.
+func Concat(parts []string) string {
+	var out string
+	for i := 0; i < len(parts); i++ {
+		out = out + "," + parts[i] // want `string concatenation inside a loop`
+	}
+	return out
+}
+
+// Convert is a one-shot conversion outside any loop; fine.
+func Convert(b []byte) string {
+	return string(b)
+}
+
+// HoistedConvert evaluates the range operand once; fine.
+func HoistedConvert(b []byte) int {
+	n := 0
+	for range []rune(string(b)) {
+		n++
+	}
+	return n
+}
+
+// parseError is a cold-path diagnostic type.
+type parseError struct{ line int }
+
+// Error renders the cold path; Sprintf is conventional and exempt here.
+func (e *parseError) Error() string {
+	return fmt.Sprintf("parse error at line %d", e.line)
+}

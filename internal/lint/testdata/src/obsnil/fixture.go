@@ -1,0 +1,51 @@
+// Package obs is an obsnil-analyzer fixture. It reuses the real package
+// name so the nil-receiver-guard contract applies here.
+package obs
+
+// Registry is a stand-in for the real metrics registry.
+type Registry struct {
+	n int
+}
+
+// Good begins with the canonical nil guard.
+func (r *Registry) Good() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// GoodFlipped writes the guard with the operands reversed.
+func (r *Registry) GoodFlipped() int {
+	if nil == r {
+		return 0
+	}
+	return r.n
+}
+
+// Enabled is the lone-return shape: the receiver appears only in a nil
+// comparison, so no guard statement is needed.
+func (r *Registry) Enabled() bool {
+	return r != nil
+}
+
+func (r *Registry) Bad() int { // want `exported method \(\*Registry\)\.Bad must begin with`
+	return r.n
+}
+
+func (r *Registry) BadEnabled() bool { // want `exported method \(\*Registry\)\.BadEnabled must begin with`
+	return r != nil && r.n > 0
+}
+
+func (r *Registry) BadGuardNoReturn() int { // want `exported method \(\*Registry\)\.BadGuardNoReturn must begin with`
+	if r == nil {
+		r = &Registry{}
+	}
+	return r.n
+}
+
+// Count has a value receiver, which can never be nil; exempt.
+func (r Registry) Count() int { return r.n }
+
+// internal is unexported; the contract covers only the exported API.
+func (r *Registry) internal() int { return r.n }

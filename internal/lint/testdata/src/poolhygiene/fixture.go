@@ -1,0 +1,51 @@
+// Package poolhygiene exercises the sync.Pool protocol analyzer.
+package poolhygiene
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// Good follows the protocol: one assertion, matching types.
+func Good() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// Release returns a matching value; fine.
+func Release(b *bytes.Buffer) {
+	bufPool.Put(b)
+}
+
+// BadPut stores a value of the wrong concrete type.
+func BadPut(r *bytes.Reader) {
+	bufPool.Put(r) // want `sync\.Pool\.Put of \*bytes\.Reader into a pool whose New returns \*bytes\.Buffer`
+}
+
+// BadAssert asserts the Get result to the wrong type.
+func BadAssert() {
+	_ = bufPool.Get().(*bytes.Reader) // want `sync\.Pool\.Get asserted to \*bytes\.Reader but the pool's New returns \*bytes\.Buffer`
+}
+
+// RepeatAssert pays for the dynamic type check twice.
+func RepeatAssert() int {
+	v := bufPool.Get()
+	b := v.(*bytes.Buffer)
+	b.Reset()
+	c := v.(*bytes.Buffer) // want `type-asserted more than once`
+	return c.Len()
+}
+
+// untracked has no New constructor, so Put/Get types are unchecked.
+var untracked sync.Pool
+
+// UntrackedUse is not checkable without a New type; fine.
+func UntrackedUse(r *bytes.Reader) {
+	untracked.Put(r)
+	_ = untracked.Get()
+}

@@ -15,7 +15,9 @@ import (
 // FileDigest records one input (or output) artifact's size and content
 // hash, so a manifest pins the exact bytes a run consumed.
 type FileDigest struct {
-	Bytes  int64  `json:"bytes"`
+	// Bytes is the artifact's length.
+	Bytes int64 `json:"bytes"`
+	// SHA256 is the lowercase hex content hash.
 	SHA256 string `json:"sha256"`
 }
 
@@ -29,7 +31,8 @@ type RunManifest struct {
 	GoVersion string `json:"goVersion,omitempty"`
 	// Seed and Scale identify a simulated run; both are omitted when the
 	// run analyzed external inputs (the Files digests pin those instead).
-	Seed  uint64  `json:"seed,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale is the dataset scale factor of a simulated run.
 	Scale float64 `json:"scale,omitempty"`
 	// Workers is the resolved worker count the run used. Every table and
 	// figure is worker-count-invariant, so this is informational, not a
@@ -118,15 +121,22 @@ func NewHashingReader(r io.Reader) *HashingReader {
 	return &HashingReader{r: io.TeeReader(r, h), h: h}
 }
 
-// Read implements io.Reader.
+// Read implements io.Reader. A nil reader reports EOF.
 func (h *HashingReader) Read(p []byte) (int, error) {
+	if h == nil {
+		return 0, io.EOF
+	}
 	n, err := h.r.Read(p)
 	h.n += int64(n)
 	return n, err
 }
 
-// Digest returns the size and SHA-256 of everything read so far.
+// Digest returns the size and SHA-256 of everything read so far; the zero
+// digest on nil.
 func (h *HashingReader) Digest() FileDigest {
+	if h == nil {
+		return FileDigest{}
+	}
 	return FileDigest{Bytes: h.n, SHA256: hex.EncodeToString(h.h.Sum(nil))}
 }
 
@@ -143,12 +153,20 @@ func NewCountingReader(r io.Reader) *CountingReader {
 	return &CountingReader{r: r}
 }
 
-// Read implements io.Reader.
+// Read implements io.Reader. A nil reader reports EOF.
 func (c *CountingReader) Read(p []byte) (int, error) {
+	if c == nil {
+		return 0, io.EOF
+	}
 	n, err := c.r.Read(p)
 	c.n.Add(int64(n))
 	return n, err
 }
 
-// N returns the bytes read so far.
-func (c *CountingReader) N() int64 { return c.n.Load() }
+// N returns the bytes read so far; 0 on nil.
+func (c *CountingReader) N() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}

@@ -11,6 +11,7 @@ import (
 
 // WorkerSnapshot is one worker's share of a span's work.
 type WorkerSnapshot struct {
+	// Worker is the worker's index in its stage's pool.
 	Worker int `json:"worker"`
 	// BusyNs is cumulative time spent processing items.
 	BusyNs int64 `json:"busyNs"`
@@ -22,36 +23,52 @@ type WorkerSnapshot struct {
 
 // SpanSnapshot is one stage's frozen measurements.
 type SpanSnapshot struct {
-	Name   string `json:"name"`
-	WallNs int64  `json:"wallNs"`
-	In     int64  `json:"in"`
-	Out    int64  `json:"out"`
-	Bytes  int64  `json:"bytes,omitempty"`
+	// Name is the span's stage name (e.g. "stage1.extract").
+	Name string `json:"name"`
+	// WallNs is the stage's wall time in nanoseconds.
+	WallNs int64 `json:"wallNs"`
+	// In counts items entering the stage.
+	In int64 `json:"in"`
+	// Out counts items leaving the stage.
+	Out int64 `json:"out"`
+	// Bytes counts bytes the stage consumed.
+	Bytes int64 `json:"bytes,omitempty"`
 	// Workers is the configured worker count (0 when the stage didn't set
 	// one); Util lists per-worker busy shares for metered stages.
-	Workers int              `json:"workers,omitempty"`
-	Util    []WorkerSnapshot `json:"util,omitempty"`
-	// Item-duration distribution for metered stages.
+	Workers int `json:"workers,omitempty"`
+	// Util lists per-worker busy time and utilization.
+	Util []WorkerSnapshot `json:"util,omitempty"`
+	// ItemP50Ns is the median per-item duration for metered stages.
 	ItemP50Ns int64 `json:"itemP50Ns,omitempty"`
+	// ItemP99Ns is the 99th-percentile per-item duration.
 	ItemP99Ns int64 `json:"itemP99Ns,omitempty"`
 }
 
 // HistogramSnapshot freezes one named histogram.
 type HistogramSnapshot struct {
-	Name     string  `json:"name"`
-	Count    int64   `json:"count"`
-	SumNs    int64   `json:"sumNs"`
+	// Name is the histogram's registry name.
+	Name string `json:"name"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// SumNs is the cumulative observed duration in nanoseconds.
+	SumNs int64 `json:"sumNs"`
+	// BucketNs lists the bucket upper bounds in nanoseconds.
 	BucketNs []int64 `json:"bucketNs"`
-	Counts   []int64 `json:"counts"`
+	// Counts holds per-bucket observation counts (last is overflow).
+	Counts []int64 `json:"counts"`
 }
 
 // Snapshot is a registry's frozen, serializable state. Every slice is
 // sorted by name, so rendering order is deterministic regardless of which
 // goroutine registered what first.
 type Snapshot struct {
-	Counters   map[string]int64    `json:"counters,omitempty"`
-	Gauges     map[string]int64    `json:"gauges,omitempty"`
-	Spans      []SpanSnapshot      `json:"spans,omitempty"`
+	// Counters maps counter name to value.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges maps gauge name to its last recorded value.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Spans lists per-stage measurements, sorted by name.
+	Spans []SpanSnapshot `json:"spans,omitempty"`
+	// Histograms lists standalone histograms, sorted by name.
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 }
 
@@ -189,8 +206,10 @@ func writeSortedInt64(w io.Writer, kind string, m map[string]int64) error {
 // Report bundles a snapshot with its run manifest — the shape of the
 // machine-readable metrics.json artifact.
 type Report struct {
+	// Manifest is the run's provenance record, when one was built.
 	Manifest *RunManifest `json:"manifest,omitempty"`
-	Metrics  Snapshot     `json:"metrics"`
+	// Metrics is the run's full metrics snapshot.
+	Metrics Snapshot `json:"metrics"`
 }
 
 // WriteJSON emits the metrics.json document: the manifest plus the full

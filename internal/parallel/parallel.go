@@ -102,9 +102,9 @@ func timedCall(meter WorkerMeter, w, i int, fn func(i int) error) error {
 	if meter == nil {
 		return fn(i)
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism per-item busy metering measures real elapsed time
 	err := fn(i)
-	meter(w, time.Since(start))
+	meter(w, time.Since(start)) //lint:allow determinism per-item busy metering measures real elapsed time
 	return err
 }
 
@@ -175,9 +175,9 @@ func NewOrderedMeter[T, R any](workers, depth int, meter WorkerMeter, fn func(T)
 		run := fn
 		if meter != nil {
 			run = func(item T) (R, error) {
-				start := time.Now()
+				start := time.Now() //lint:allow determinism per-item busy metering measures real elapsed time
 				v, err := fn(item)
-				meter(w, time.Since(start))
+				meter(w, time.Since(start)) //lint:allow determinism per-item busy metering measures real elapsed time
 				return v, err
 			}
 		}

@@ -293,7 +293,7 @@ func (ld *dbLoader) parsePlacement(b []byte) (Placement, error) {
 		}
 		ci := bytes.IndexByte(part, ':')
 		if ci <= 0 {
-			return ParsePlacement(string(b))
+			return ParsePlacement(string(b)) //lint:allow hotalloc cold corrupt-input fallback; the hot path parses in place
 		}
 		node, list := part[:ci], part[ci+1:]
 		idxs := ld.takeInts(bytes.Count(list, []byte{','}) + 1)
@@ -307,7 +307,7 @@ func (ld *dbLoader) parsePlacement(b []byte) (Placement, error) {
 			}
 			v, ok := atoiFast(seg)
 			if !ok {
-				return ParsePlacement(string(b))
+				return ParsePlacement(string(b)) //lint:allow hotalloc cold corrupt-input fallback; the hot path parses in place
 			}
 			idxs[k] = v
 			k++

@@ -69,9 +69,9 @@ func ExtractParallelAlloc(r io.Reader, workers int, meter parallel.WorkerMeter, 
 		if meter == nil {
 			return extractSeq(r, alloc, fn)
 		}
-		start := time.Now()
+		start := time.Now() //lint:allow determinism stage span metering measures real elapsed time
 		st, err := extractSeq(r, alloc, fn)
-		meter(0, time.Since(start))
+		meter(0, time.Since(start)) //lint:allow determinism stage span metering measures real elapsed time
 		return st, err
 	}
 	pool := parallel.NewOrderedMeter(workers, 2*workers, meter, func(c pooledChunk) (chunkResult, error) {

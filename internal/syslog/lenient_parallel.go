@@ -63,9 +63,9 @@ func ExtractLenientParallelAlloc(r io.Reader, workers int, opt LenientOptions, m
 		if meter == nil {
 			return extractLenientSeq(r, opt, alloc, fn)
 		}
-		start := time.Now()
+		start := time.Now() //lint:allow determinism stage span metering measures real elapsed time
 		rep, err := extractLenientSeq(r, opt, alloc, fn)
-		meter(0, time.Since(start))
+		meter(0, time.Since(start)) //lint:allow determinism stage span metering measures real elapsed time
 		return rep, err
 	}
 	pool := parallel.NewOrderedMeter(workers, 2*workers, meter, func(c lenChunk) (lenChunkResult, error) {

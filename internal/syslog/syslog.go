@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,13 +28,28 @@ import (
 // matching the 4-way (and 8-way) A100 board layout.
 var pciBases = []int{0x07, 0x27, 0x47, 0x67, 0x87, 0xA7, 0xC7, 0xE7}
 
+// hexUpper digits match fmt's %02X rendering.
+const hexUpper = "0123456789ABCDEF"
+
+// AppendPCIAddr appends the PCI bus address of GPU index i to dst without
+// allocating, rendering exactly what PCIAddr returns.
+func AppendPCIAddr(dst []byte, i int) []byte {
+	v, domain := 0, "0000:"
+	if i >= 0 && i < len(pciBases) {
+		v = pciBases[i]
+	} else {
+		// Synthetic fallback for out-of-range indices.
+		v, domain = i&0xff, "0001:"
+	}
+	dst = append(dst, domain...)
+	dst = append(dst, hexUpper[v>>4], hexUpper[v&0xf])
+	return append(dst, ":00"...)
+}
+
 // PCIAddr returns the PCI bus address string of GPU index i.
 func PCIAddr(i int) string {
-	if i >= 0 && i < len(pciBases) {
-		return fmt.Sprintf("0000:%02X:00", pciBases[i])
-	}
-	// Synthetic fallback for out-of-range indices.
-	return fmt.Sprintf("0001:%02X:00", i&0xff)
+	var buf [10]byte
+	return string(AppendPCIAddr(buf[:0], i))
 }
 
 // GPUIndex inverts PCIAddr. The boolean is false for unknown addresses:
@@ -48,28 +64,63 @@ func GPUIndex(addr string) (int, bool) {
 // timeLayout is the consolidated-log timestamp format (microsecond UTC).
 const timeLayout = "2006-01-02T15:04:05.000000Z"
 
-// FormatLine renders one raw Xid log line. pid and procName are cosmetic —
-// the extractor ignores them, like the study's regex does. Both newlines and
-// lone carriage returns are stripped from the detail: a bare \r survives
-// fmt unscathed but splits the record under CR-aware line readers.
+// AppendLine appends one raw Xid log line to dst, allocation-free when dst
+// has capacity — the Writer's per-line emission path. pid and procName are
+// cosmetic; the extractor ignores them, like the study's regex does. Both
+// newlines and lone carriage returns are replaced with spaces in the detail:
+// a bare \r survives fmt unscathed but splits the record under CR-aware
+// line readers.
+func AppendLine(dst []byte, ev xid.Event, pid int, procName string) []byte {
+	dst = ev.Time.UTC().AppendFormat(dst, timeLayout)
+	dst = append(dst, ' ')
+	dst = append(dst, ev.Node...)
+	dst = append(dst, " kernel: NVRM: Xid (PCI:"...)
+	dst = AppendPCIAddr(dst, ev.GPU)
+	dst = append(dst, "): "...)
+	dst = strconv.AppendInt(dst, int64(ev.Code), 10)
+	dst = append(dst, ", pid="...)
+	dst = strconv.AppendInt(dst, int64(pid), 10)
+	dst = append(dst, ", name="...)
+	dst = append(dst, procName...)
+	dst = append(dst, ", "...)
+	for i := 0; i < len(ev.Detail); i++ {
+		c := ev.Detail[i]
+		if c == '\n' || c == '\r' {
+			c = ' '
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// FormatLine renders one raw Xid log line (the string form of AppendLine).
 func FormatLine(ev xid.Event, pid int, procName string) string {
-	detail := strings.NewReplacer("\n", " ", "\r", " ").Replace(ev.Detail)
-	return fmt.Sprintf("%s %s kernel: NVRM: Xid (PCI:%s): %d, pid=%d, name=%s, %s",
-		ev.Time.UTC().Format(timeLayout), ev.Node, PCIAddr(ev.GPU), int(ev.Code),
-		pid, procName, detail)
+	return string(AppendLine(nil, ev, pid, procName))
+}
+
+// noiseMsgs are the unrelated kernel messages FormatNoise cycles through.
+var noiseMsgs = []string{
+	"kernel: EXT4-fs (nvme0n1p2): mounted filesystem with ordered data mode",
+	"kernel: perf: interrupt took too long, lowering kernel.perf_event_max_sample_rate",
+	"kernel: slurmstepd[4121]: task exited normally",
+	"kernel: nvidia-persistenced: persistence mode enabled",
+	"kernel: mlx5_core 0000:a1:00.0: Port module event: module 0, Cable plugged",
+}
+
+// AppendNoise appends an unrelated kernel log line — one the extractor must
+// skip — to dst.
+func AppendNoise(dst []byte, t time.Time, node string, i int) []byte {
+	dst = t.UTC().AppendFormat(dst, timeLayout)
+	dst = append(dst, ' ')
+	dst = append(dst, node...)
+	dst = append(dst, ' ')
+	return append(dst, noiseMsgs[i%len(noiseMsgs)]...)
 }
 
 // FormatNoise renders an unrelated kernel log line that the extractor must
 // skip.
 func FormatNoise(t time.Time, node string, i int) string {
-	msgs := []string{
-		"kernel: EXT4-fs (nvme0n1p2): mounted filesystem with ordered data mode",
-		"kernel: perf: interrupt took too long, lowering kernel.perf_event_max_sample_rate",
-		"kernel: slurmstepd[4121]: task exited normally",
-		"kernel: nvidia-persistenced: persistence mode enabled",
-		"kernel: mlx5_core 0000:a1:00.0: Port module event: module 0, Cable plugged",
-	}
-	return fmt.Sprintf("%s %s %s", t.UTC().Format(timeLayout), node, msgs[i%len(msgs)])
+	return string(AppendNoise(nil, t, node, i))
 }
 
 // WriterConfig controls raw-line emission.
@@ -106,11 +157,12 @@ func DefaultWriterConfig() WriterConfig {
 
 // Writer streams raw log lines for a sequence of events.
 type Writer struct {
-	bw    *bufio.Writer
-	cfg   WriterConfig
-	rng   *randx.Stream
-	lines int
-	noise int
+	bw      *bufio.Writer
+	cfg     WriterConfig
+	rng     *randx.Stream
+	lines   int
+	noise   int
+	scratch []byte // reused line buffer; emission allocates nothing per line
 }
 
 // NewWriter returns a Writer emitting to w.
@@ -141,10 +193,9 @@ func NewWriter(w io.Writer, cfg WriterConfig, seed uint64) (*Writer, error) {
 func (w *Writer) WriteEvent(ev xid.Event) (int, error) {
 	wrote := 0
 	if w.rng.Bool(w.cfg.NoiseProb) {
-		if _, err := w.bw.WriteString(FormatNoise(ev.Time, ev.Node, w.noise)); err != nil {
-			return wrote, err
-		}
-		if err := w.bw.WriteByte('\n'); err != nil {
+		w.scratch = AppendNoise(w.scratch[:0], ev.Time, ev.Node, w.noise)
+		w.scratch = append(w.scratch, '\n')
+		if _, err := w.bw.Write(w.scratch); err != nil {
 			return wrote, err
 		}
 		w.noise++
@@ -161,10 +212,9 @@ func (w *Writer) WriteEvent(ev xid.Event) (int, error) {
 	for i := 0; i < dups; i++ {
 		line := ev
 		line.Time = at
-		if _, err := w.bw.WriteString(FormatLine(line, pid, proc)); err != nil {
-			return wrote, err
-		}
-		if err := w.bw.WriteByte('\n'); err != nil {
+		w.scratch = AppendLine(w.scratch[:0], line, pid, proc)
+		w.scratch = append(w.scratch, '\n')
+		if _, err := w.bw.Write(w.scratch); err != nil {
 			return wrote, err
 		}
 		wrote++
