@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples fmt vet lint lint-baseline clean
+.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples service-check fmt vet lint lint-baseline clean
 
 all: build test
 
@@ -64,6 +64,14 @@ examples:
 	$(GO) run ./examples/checkpoint
 	$(GO) run ./examples/survival
 	$(GO) run ./examples/hopper
+	$(GO) run ./examples/streaming
+
+# Build the streaming daemon and run the service test suite: streaming/batch
+# equivalence, watermark edge cases, checkpoint resume, tailer rotation, and
+# the HTTP smoke tests (200 + ETag 304). Mirrors the CI service job.
+service-check:
+	$(GO) build -o bin/gpuresilienced ./cmd/gpuresilienced
+	$(GO) test ./internal/stream/ ./cmd/gpuresilienced/
 
 fmt:
 	gofmt -w ./internal ./cmd ./examples ./bench_test.go ./doc.go

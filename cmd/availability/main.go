@@ -17,7 +17,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 
 	"gpuresilience/internal/avail"
 	"gpuresilience/internal/calib"
@@ -26,6 +25,7 @@ import (
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/dataset"
 	"gpuresilience/internal/obs"
+	"gpuresilience/internal/report"
 	"gpuresilience/internal/stats"
 	"gpuresilience/internal/workload"
 )
@@ -134,51 +134,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "Repairs: %d  MTTR %.2f h (median %.2f, p99 %.2f)  lost node-hours %.0f\n",
-		a.Repairs, a.MTTRHours, a.MedianHours, a.P99Hours, a.LostNodeHours)
-	if errorCount > 0 {
-		fmt.Fprintf(stdout, "MTTF %.0f h  availability %.2f%%  downtime/day %s\n",
-			a.MTTFHours, 100*a.Availability, a.DowntimePerDay.Round(0))
-	}
-	h := a.Histogram
-	maxCount := 1
-	for _, c := range h.Counts {
-		if c > maxCount {
-			maxCount = c
-		}
-	}
-	fmt.Fprintln(stdout, "\nFigure 2: unavailability time distribution")
-	for i, c := range h.Counts {
-		lo, hi := h.BucketBounds(i)
-		fmt.Fprintf(stdout, "%5.2f-%5.2f h | %-50s %d\n", lo, hi,
-			strings.Repeat("#", c*50/maxCount), c)
-	}
-	if h.Overflow > 0 {
-		fmt.Fprintf(stdout, "     >%.2f h | %d\n", h.Max, h.Overflow)
-	}
-
-	// Per-node availability spread over the full period.
+	// The rendering is shared with the streaming daemon's availability
+	// endpoint (report.WriteAvailability), so the two stay byte-identical.
 	downByNode := make(map[string]float64)
 	for _, d := range downtimes {
 		downByNode[d.Node] += d.Duration().Hours()
 	}
-	fleet := make([]string, 0, len(downByNode))
-	for node := range downByNode {
-		fleet = append(fleet, node)
-	}
-	if len(fleet) > 0 {
-		rows, err := avail.PerNode(downByNode, full, fleet)
-		if err != nil {
-			return err
-		}
-		n := 3
-		if len(rows) < n {
-			n = len(rows)
-		}
-		fmt.Fprintf(stdout, "\nWorst nodes (of %d with any downtime):\n", len(rows))
-		for _, r := range rows[:n] {
-			fmt.Fprintf(stdout, "  %s: %.3f%% (%.1f h down)\n", r.Node, 100*r.Availability, r.DownHours)
-		}
+	if err := report.WriteAvailability(stdout, a, downByNode, full, errorCount > 0); err != nil {
+		return err
 	}
 	return obsFl.Emit(stdout, man)
 }

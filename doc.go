@@ -37,6 +37,14 @@
 // -pprof (flags unified in internal/cliflags); docs/observability.md has
 // the naming scheme and the manifest schema.
 //
+// The pipeline also runs continuously: internal/stream wraps Stage I/II in a
+// watermark-based streaming engine (out-of-order tolerance inside a horizon,
+// late-event quarantine, bounded resident state, replayable checkpoints) and
+// cmd/gpuresilienced packages it as a daemon that tails live system logs and
+// serves Tables I-III and the availability analysis over HTTP with ETag
+// caching — byte-identical to the batch CLIs' output at any ingest chunking;
+// docs/service.md has the API and the equivalence argument.
+//
 // Entry points live under internal/core (pipeline orchestration) and
 // internal/calib (the paper-calibrated configuration); runnable tools are in
 // cmd/ and runnable examples in examples/. Root-level bench_test.go holds one
@@ -48,10 +56,11 @@
 // machine-checked at the source level by cmd/gpulint, a dependency-free
 // static-analysis pass built on go/types (internal/lint); see
 // docs/static-analysis.md. The docs/ tree documents the
+// repository layout (docs/architecture.md), the
 // pipeline (docs/pipeline.md), the dataset file formats
-// (docs/file-formats.md), the CLI tools (docs/cli.md),
-// corruption-tolerant ingestion (docs/robustness.md), the
-// observability layer (docs/observability.md), the performance
-// engineering (docs/performance.md), and the custom static analysis
-// (docs/static-analysis.md).
+// (docs/file-formats.md), the CLI tools (docs/cli.md), the streaming
+// service (docs/service.md), corruption-tolerant ingestion
+// (docs/robustness.md), the observability layer (docs/observability.md),
+// the performance engineering (docs/performance.md), and the custom
+// static analysis (docs/static-analysis.md).
 package gpuresilience

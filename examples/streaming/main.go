@@ -1,0 +1,133 @@
+// Streaming quickstart: the batch pipeline answers "what happened in this
+// log file"; the streaming engine (internal/stream) answers the same
+// question continuously while the log is still being written. This example
+// walks the whole loop in-process — generate a cluster log, feed it to the
+// engine in small chunks as if it were arriving live, watch the watermark
+// advance, then serve the resulting tables over HTTP and demonstrate the
+// ETag cache cycle a polling client would use.
+//
+//	go run ./examples/streaming
+//
+// The production packaging of this loop is the gpuresilienced daemon
+// (cmd/gpuresilienced), which tails real files instead of an in-process
+// feed; see docs/service.md.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streaming:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Generate a small cluster simulation, keeping the raw syslog text —
+	// this stands in for the file a real cluster would be appending to.
+	scenario := calib.NewScenario(7, 0.02)
+	var raw bytes.Buffer
+	out, err := core.EndToEnd(core.EndToEndConfig{
+		Cluster:     scenario.Cluster,
+		Pipeline:    core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes),
+		KeepRawLogs: &raw,
+	})
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimRight(raw.String(), "\n"), "\n")
+	fmt.Printf("simulated log: %d lines\n\n", len(lines))
+
+	// 2. Build a streaming engine with the same static context the batch
+	// CLIs read from files: the job database and the node repair log.
+	eng, err := stream.New(stream.Config{
+		Pipeline:  core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes),
+		Jobs:      out.Truth.Jobs,
+		Downtimes: out.Truth.Downtimes,
+		CPU:       out.Truth.CPU,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 3. Feed the log in chunks, as a tailer would deliver it. After each
+	// chunk, Advance moves the watermark to (newest event - horizon) and
+	// seals everything behind it into the live tables.
+	feed := stream.NewFeed(eng, "examples/streaming")
+	const chunk = 512
+	for i, line := range lines {
+		if err := feed.Line(line); err != nil {
+			return err
+		}
+		if (i+1)%chunk == 0 {
+			eng.Advance()
+		}
+		if (i+1)%(chunk*4) == 0 {
+			st := eng.Status()
+			fmt.Printf("after %5d lines: watermark %s, %d sealed, %d pending, %d open windows\n",
+				i+1, st.Watermark.Format("2006-01-02 15:04:05"),
+				st.SealedRawEvents, st.PendingEvents, st.OpenWindows)
+		}
+	}
+	// End of input: seal everything (the daemon does this after an idle
+	// period) and build the snapshot the HTTP layer serves.
+	eng.FlushAll()
+	snap, err := stream.BuildSnapshot(eng)
+	if err != nil {
+		return err
+	}
+	st := eng.Status()
+	fmt.Printf("final:            watermark %s, %d sealed, %d late quarantined, %d duplicates\n\n",
+		st.Watermark.Format("2006-01-02 15:04:05"), st.SealedRawEvents, st.Quarantine.Late, st.Sources[0].Dups)
+
+	// 4. Serve the snapshot exactly as gpuresilienced does and act as a
+	// polling client: first fetch pays for the body, the conditional
+	// re-fetch with If-None-Match rides the ETag to an empty 304.
+	srv := stream.NewServer(nil, nil, nil)
+	srv.Publish(snap)
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/v1/tables/xidstat?format=text")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	tag := resp.Header.Get("ETag")
+	fmt.Printf("GET /v1/tables/xidstat?format=text -> %s, ETag %s\n\n%s\n", resp.Status, tag, body)
+
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/tables/xidstat?format=text", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("If-None-Match", tag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp2.Body.Close()
+	fmt.Printf("GET with If-None-Match %s -> %s (nothing to re-download)\n", tag, resp2.Status)
+	return nil
+}

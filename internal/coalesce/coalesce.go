@@ -83,6 +83,74 @@ func (c *Coalescer) Raw() int { return c.raw }
 // Kept returns how many events were kept.
 func (c *Coalescer) Kept() int { return c.kept }
 
+// Len returns how many distinct keys the coalescer currently tracks — the
+// streaming daemon's "open windows" gauge.
+func (c *Coalescer) Len() int { return len(c.lastKept) }
+
+// EvictBefore drops tracked keys whose window can no longer suppress
+// anything: once the caller guarantees every future event's timestamp is
+// after cutoff (the streaming watermark gives exactly that guarantee), an
+// entry whose last kept time plus the window is at or before cutoff would
+// keep any future event anyway, so forgetting it cannot change the output.
+// Returns how many entries were evicted. This is what bounds a long-running
+// coalescer's state by the number of open windows instead of the number of
+// keys ever seen.
+func (c *Coalescer) EvictBefore(cutoff time.Time) int {
+	n := 0
+	for k, last := range c.lastKept {
+		if !last.Add(c.window).After(cutoff) {
+			delete(c.lastKept, k)
+			n++
+		}
+	}
+	return n
+}
+
+// KeyState is one tracked coalescing key and the time of its last kept
+// occurrence — the unit of a checkpointed coalescer.
+type KeyState struct {
+	// Key is the (node, GPU, code) coalescing identity.
+	Key xid.Key `json:"key"`
+	// Last is when the key's last kept occurrence happened.
+	Last time.Time `json:"last"`
+}
+
+// State snapshots the coalescer for checkpointing: the tracked keys sorted
+// deterministically, plus the raw/kept totals. Restore rebuilds an
+// equivalent coalescer from it.
+func (c *Coalescer) State() (entries []KeyState, raw, kept int) {
+	entries = make([]KeyState, 0, len(c.lastKept))
+	for k, last := range c.lastKept {
+		entries = append(entries, KeyState{Key: k, Last: last})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Key, entries[j].Key
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.GPU != b.GPU {
+			return a.GPU < b.GPU
+		}
+		return a.Code < b.Code
+	})
+	return entries, c.raw, c.kept
+}
+
+// Restore rebuilds a coalescer from a checkpointed State, so a restarted
+// streaming run continues deduplicating exactly where the previous process
+// stopped.
+func Restore(window time.Duration, entries []KeyState, raw, kept int) (*Coalescer, error) {
+	c, err := newSized(window, len(entries)*8)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		c.lastKept[e.Key] = e.Last
+	}
+	c.raw, c.kept = raw, kept
+	return c, nil
+}
+
 // Less is the canonical Stage II event order: (time, node, gpu, code), with
 // input order breaking full ties (the sorts using it are stable). Both the
 // sequential and the sharded coalescing paths order events with it, which is

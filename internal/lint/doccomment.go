@@ -5,11 +5,20 @@ import (
 )
 
 // docPkgs are the packages held to full doc-comment coverage: the
-// observability API (threaded through every stage) and the shared CLI flag
-// surface. Warn-only: missing docs never gate CI, they nag.
+// observability API (threaded through every stage), the shared CLI flag
+// surface, and the streaming service layer other processes program against
+// over HTTP. Warn-only: missing docs never gate CI, they nag.
 var docPkgs = map[string]bool{
 	"obs":      true,
 	"cliflags": true,
+	"stream":   true,
+}
+
+// docImportPaths extends the coverage to packages whose name is ambiguous —
+// the daemon is `package main` like every other command, so it is matched
+// by import path instead.
+var docImportPaths = map[string]bool{
+	"gpuresilience/cmd/gpuresilienced": true,
 }
 
 // DocComment warns about exported identifiers — functions, methods, types,
@@ -17,13 +26,13 @@ var docPkgs = map[string]bool{
 // comment, in the packages whose APIs the rest of the repo programs against.
 var DocComment = &Analyzer{
 	Name:     "doccomment",
-	Doc:      "exported identifiers in obs and cliflags must carry doc comments",
+	Doc:      "exported identifiers in obs, cliflags, stream, and gpuresilienced must carry doc comments",
 	Severity: SevWarn,
 	Run:      runDocComment,
 }
 
 func runDocComment(p *Pass) {
-	if !docPkgs[p.Pkg.Name] {
+	if !docPkgs[p.Pkg.Name] && !docImportPaths[p.Pkg.ImportPath] {
 		return
 	}
 	for _, f := range p.Pkg.Files {

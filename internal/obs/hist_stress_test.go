@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHistogramSnapshotConsistency is the daemon's scrape-vs-ingest stress:
+// writer goroutines observe continuously while a scraper loop snapshots the
+// registry. Every snapshot must be internally consistent — its bucket counts
+// sum exactly to its Count — and Count must be monotonic across scrapes.
+// Before histogram updates became atomic as a unit, a scrape could land
+// between the bucket increment and the total increment and report a torn
+// histogram; run with -race to also cover the memory model.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	r := New()
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 2 {
+		writers = 2
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var written atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(w+1) * 37 * time.Microsecond
+			for !stop.Load() {
+				r.Histogram("ingest.latency").Observe(d)
+				r.Histogram("http.requests").Observe(d * 3)
+				written.Add(2)
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var lastCount = map[string]int64{}
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		snap := r.Snapshot()
+		scrapes++
+		for _, hs := range snap.Histograms {
+			var sum int64
+			for _, c := range hs.Counts {
+				sum += c
+			}
+			if sum != hs.Count {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("torn histogram snapshot %q: bucket sum %d != count %d", hs.Name, sum, hs.Count)
+			}
+			if hs.Count < lastCount[hs.Name] {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("histogram %q count regressed: %d -> %d", hs.Name, lastCount[hs.Name], hs.Count)
+			}
+			lastCount[hs.Name] = hs.Count
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Exact-total check once the writers have quiesced.
+	final := r.Snapshot()
+	var got int64
+	for _, hs := range final.Histograms {
+		got += hs.Count
+	}
+	if got != written.Load() {
+		t.Fatalf("final histogram counts = %d, want %d", got, written.Load())
+	}
+	if scrapes == 0 {
+		t.Fatal("scraper never ran")
+	}
+}

@@ -164,16 +164,22 @@ var histBuckets = func() []time.Duration {
 	return b
 }()
 
-// Histogram is a fixed-bucket duration histogram. Observations are atomic;
-// bucket bounds are shared (histBuckets).
+// Histogram is a fixed-bucket duration histogram. A single mutex makes each
+// observation — bucket, total, and sum together — atomic as a unit, so a
+// snapshot taken while another goroutine observes is always internally
+// consistent: its bucket counts sum exactly to its Count. (The previous
+// per-field atomics were race-free but could tear a snapshot between the
+// bucket increment and the total increment, which a long-running daemon's
+// scrape loop observes in practice.)
 type Histogram struct {
-	counts   []atomic.Int64 // len(histBuckets)+1, last is overflow
-	total    atomic.Int64
-	sumNanos atomic.Int64
+	mu       sync.Mutex
+	counts   []int64 // len(histBuckets)+1, last is overflow
+	total    int64
+	sumNanos int64
 }
 
 func newHistogram() *Histogram {
-	return &Histogram{counts: make([]atomic.Int64, len(histBuckets)+1)}
+	return &Histogram{counts: make([]int64, len(histBuckets)+1)}
 }
 
 // Observe records one duration. No-op on nil.
@@ -182,9 +188,11 @@ func (h *Histogram) Observe(d time.Duration) {
 		return
 	}
 	i := sort.Search(len(histBuckets), func(i int) bool { return d <= histBuckets[i] })
-	h.counts[i].Add(1)
-	h.total.Add(1)
-	h.sumNanos.Add(int64(d))
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sumNanos += int64(d)
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations; 0 on nil.
@@ -192,7 +200,9 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.total.Load()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
 }
 
 // Sum returns the cumulative observed duration; 0 on nil.
@@ -200,23 +210,36 @@ func (h *Histogram) Sum() time.Duration {
 	if h == nil {
 		return 0
 	}
-	return time.Duration(h.sumNanos.Load())
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.sumNanos)
+}
+
+// state copies the histogram's fields as one consistent unit.
+func (h *Histogram) state() (counts []int64, total, sumNanos int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return counts, h.total, h.sumNanos
 }
 
 // quantile estimates the q-quantile (0..1) from the bucket counts, taking
-// each bucket's upper bound. Returns 0 for an empty histogram.
+// each bucket's upper bound. Returns 0 for an empty histogram. The rank walk
+// runs over one consistent copy of the counts, so a concurrent Observe can
+// never strand the cursor past every bucket.
 func (h *Histogram) quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
 	}
-	total := h.total.Load()
+	counts, total, _ := h.state()
 	if total == 0 {
 		return 0
 	}
 	rank := int64(q * float64(total))
 	var seen int64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
+	for i := range counts {
+		seen += counts[i]
 		if seen > rank {
 			if i < len(histBuckets) {
 				return histBuckets[i]

@@ -107,18 +107,18 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 func histSnapshot(name string, h *Histogram) HistogramSnapshot {
+	// One consistent copy: the bucket counts always sum to Count, even while
+	// another goroutine is observing (the daemon's scrape path relies on it).
+	counts, total, sumNanos := h.state()
 	hs := HistogramSnapshot{
 		Name:     name,
-		Count:    h.Count(),
-		SumNs:    int64(h.Sum()),
+		Count:    total,
+		SumNs:    sumNanos,
 		BucketNs: make([]int64, len(histBuckets)),
-		Counts:   make([]int64, len(h.counts)),
+		Counts:   counts,
 	}
 	for i, b := range histBuckets {
 		hs.BucketNs[i] = int64(b)
-	}
-	for i := range h.counts {
-		hs.Counts[i] = h.counts[i].Load()
 	}
 	return hs
 }

@@ -1,0 +1,138 @@
+package stream_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gpuresilience/internal/stream"
+)
+
+// TestCheckpointResumeWithRedelivery is the crash-recovery guarantee:
+// checkpoint mid-stream, resume in a fresh engine, redeliver an
+// overlapping tail of the input (at-least-once delivery), and the final
+// tables are byte-identical to an uninterrupted run — with the overlap
+// absorbed as duplicates, not double-counted.
+func TestCheckpointResumeWithRedelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint fixture skipped in -short mode")
+	}
+	f := loadFixture(t)
+	cut := len(f.lines) / 2
+	const overlap = 200 // lines redelivered after resume
+
+	// Uninterrupted control run.
+	control := streamSnapshot(t, f, 64)
+
+	// First process: ingest half, advance, checkpoint, "crash".
+	eng1, err := stream.New(f.streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed1 := stream.NewFeed(eng1, "syslog")
+	for _, line := range f.lines[:cut] {
+		if err := feed1.Line(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng1.Advance()
+	cp := eng1.Checkpoint()
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := stream.SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: load, resume, redeliver the tail with overlap.
+	loaded, err := stream.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := stream.Resume(f.streamConfig(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed2 := stream.NewFeed(eng2, "syslog")
+	start := cut - overlap
+	feed2.SetStart(int64(start)) // the producer replays from before the cut
+	for i, line := range f.lines[start:] {
+		if err := feed2.Line(line); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%64 == 0 {
+			eng2.Advance()
+		}
+	}
+	eng2.FlushAll()
+
+	st := eng2.Status()
+	if len(st.Sources) != 1 || st.Sources[0].Dups != overlap {
+		t.Fatalf("dups = %+v, want %d redelivered lines absorbed", st.Sources, overlap)
+	}
+	if st.Quarantine.Late != 0 {
+		t.Fatalf("resume quarantined %d events", st.Quarantine.Late)
+	}
+
+	snap, err := stream.BuildSnapshot(eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range stream.TableNames() {
+		if got, want := string(snap.Tables[name].Text), string(control.Tables[name].Text); got != want {
+			t.Errorf("table %s diverges after resume\n--- resumed\n%s\n--- control\n%s", name, got, want)
+		}
+	}
+	if snap.Status.SealedRawEvents != control.Status.SealedRawEvents {
+		t.Errorf("sealed raw = %d, control %d", snap.Status.SealedRawEvents, control.Status.SealedRawEvents)
+	}
+}
+
+// TestCheckpointRejectsMismatch: version and horizon guards refuse to
+// resume into a differently configured engine.
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	eng := newEngine(t)
+	cp := eng.Checkpoint()
+
+	wrongVersion := *cp
+	wrongVersion.Version = 99
+	if _, err := stream.Resume(testConfig(), &wrongVersion); err == nil {
+		t.Fatal("resumed from a future checkpoint version")
+	}
+
+	cfg := testConfig()
+	cfg.Horizon = 2 * stream.DefaultHorizon
+	if _, err := stream.Resume(cfg, cp); err == nil {
+		t.Fatal("resumed across a horizon change")
+	}
+
+	// Nil checkpoint means a cold start.
+	if _, err := stream.Resume(testConfig(), nil); err != nil {
+		t.Fatalf("nil checkpoint should cold-start: %v", err)
+	}
+}
+
+// TestSaveCheckpointAtomic: the file lands complete and loadable, and a
+// failed tmp write never replaces an existing checkpoint.
+func TestSaveCheckpointRoundTrip(t *testing.T) {
+	eng := newEngine(t)
+	feed := stream.NewFeed(eng, "feed")
+	if err := feed.Event(event(0, "gpub001", 1, 31)); err != nil {
+		t.Fatal(err)
+	}
+	eng.FlushAll()
+	cp := eng.Checkpoint()
+
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := stream.SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := stream.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SealedRaw != cp.SealedRaw || !loaded.Watermark.Equal(cp.Watermark) ||
+		len(loaded.Sources) != len(cp.Sources) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", loaded, cp)
+	}
+	if _, err := stream.LoadCheckpoint(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loaded a missing checkpoint")
+	}
+}

@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gpuresilience/internal/obs"
+)
+
+// Server is the daemon's HTTP read path. It serves whatever Snapshot was
+// last published — handlers never touch the engine, so a slow client or a
+// burst of requests cannot stall ingest. Publish swaps the snapshot
+// atomically; requests racing a swap see either the old or the new
+// snapshot, both internally consistent.
+type Server struct {
+	snap atomic.Pointer[Snapshot]
+	// reg records request metrics (http.request histogram, http.hits /
+	// http.notmodified counters) when non-nil and feeds /v1/metrics.
+	reg *obs.Registry
+	// manifest is served by /v1/manifest; nil yields 404.
+	manifest *obs.RunManifest
+	// now supplies request timestamps for latency metrics; the daemon
+	// injects the wall clock, tests a fake. Nil disables timing.
+	now func() time.Time
+}
+
+// NewServer returns a Server that serves published snapshots. reg may be
+// nil (no request metrics); manifest may be nil (no /v1/manifest document);
+// now may be nil (no request latency observations).
+func NewServer(reg *obs.Registry, manifest *obs.RunManifest, now func() time.Time) *Server {
+	return &Server{reg: reg, manifest: manifest, now: now}
+}
+
+// Publish swaps in a freshly built snapshot. Safe to call concurrently
+// with request handling.
+func (s *Server) Publish(snap *Snapshot) {
+	s.snap.Store(snap)
+}
+
+// Latest returns the currently published snapshot, or nil before the first
+// Publish.
+func (s *Server) Latest() *Snapshot {
+	return s.snap.Load()
+}
+
+// Handler returns the daemon's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tables/", s.handleTable)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/manifest", s.handleManifest)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with request accounting.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var start time.Time
+		if s.now != nil {
+			start = s.now()
+		}
+		s.reg.Counter("http.hits").Add(1)
+		next.ServeHTTP(w, r)
+		if s.now != nil {
+			s.reg.Histogram("http.request").Observe(s.now().Sub(start))
+		}
+	})
+}
+
+// wantText reports whether the request asked for the rendered text form:
+// ?format=text, or an Accept header preferring text/plain.
+func wantText(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return false
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case "text/plain":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of validators, or "*" matching anything.
+func etagMatches(header, tag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveBody writes one pre-rendered representation with its validator,
+// answering If-None-Match with 304 and no body.
+func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, body []byte, tag, contentType string) {
+	w.Header().Set("ETag", tag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if etagMatches(r.Header.Get("If-None-Match"), tag) {
+		s.reg.Counter("http.notmodified").Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(body)
+	}
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.Latest()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/tables/")
+	doc, ok := snap.Tables[name]
+	if !ok {
+		http.Error(w, "unknown table "+name, http.StatusNotFound)
+		return
+	}
+	if wantText(r) {
+		s.serveBody(w, r, doc.Text, doc.TextETag, "text/plain; charset=utf-8")
+		return
+	}
+	s.serveBody(w, r, doc.JSON, doc.JSONETag, "application/json")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.reg.Enabled() {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Metrics are live (not snapshot-cached): each scrape reads the
+	// registry's current counters, which is the point of the endpoint.
+	_ = obs.WriteJSON(w, nil, s.reg.Snapshot())
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.manifest == nil {
+		http.Error(w, "no manifest", http.StatusNotFound)
+		return
+	}
+	body, err := json.MarshalIndent(s.manifest, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	s.serveBody(w, r, body, etag(body), "application/json")
+}
+
+// healthzView is the /healthz response body.
+type healthzView struct {
+	OK       bool      `json:"ok"`
+	Status   Status    `json:"status"`
+	BuiltAt  time.Time `json:"builtAt,omitempty"`
+	Snapshot uint64    `json:"snapshotGen"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.Latest()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(healthzView{
+		OK:       true,
+		Status:   snap.Status,
+		BuiltAt:  snap.BuiltAt,
+		Snapshot: snap.Gen,
+	})
+}

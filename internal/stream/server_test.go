@@ -1,0 +1,210 @@
+package stream_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/obs"
+	"gpuresilience/internal/stream"
+	"gpuresilience/internal/xid"
+)
+
+// serveFixture builds a tiny published snapshot behind a test server.
+func serveFixture(t *testing.T, reg *obs.Registry) (*stream.Server, *httptest.Server) {
+	t.Helper()
+	eng := newEngine(t)
+	feed := stream.NewFeed(eng, "feed")
+	for i, off := range []time.Duration{0, 10 * time.Second, time.Minute} {
+		if err := feed.Event(event(off, "gpub001", i%4, xid.MMU)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.FlushAll()
+	snap, err := stream.BuildSnapshot(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := obs.NewRunManifest("gpuresilienced")
+	srv := stream.NewServer(reg, man, nil)
+	srv.Publish(snap)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string, header map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestServerTablesAndETags: every table serves JSON with a strong ETag; a
+// conditional re-fetch with that validator gets 304 and no body; the text
+// representation has its own validator.
+func TestServerTablesAndETags(t *testing.T) {
+	reg := obs.New()
+	_, ts := serveFixture(t, reg)
+
+	for _, name := range stream.TableNames() {
+		url := ts.URL + "/v1/tables/" + name
+		resp := get(t, url, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: content type %q", name, ct)
+		}
+		tag := resp.Header.Get("ETag")
+		if !strings.HasPrefix(tag, `"`) {
+			t.Fatalf("%s: ETag %q not a quoted validator", name, tag)
+		}
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("%s: body not JSON: %v", name, err)
+		}
+		if _, ok := doc["status"]; !ok {
+			t.Fatalf("%s: JSON body missing embedded status", name)
+		}
+
+		// Conditional re-fetch: 304, same validator.
+		resp2 := get(t, url, map[string]string{"If-None-Match": tag})
+		if resp2.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s: conditional status %d, want 304", name, resp2.StatusCode)
+		}
+		if got := resp2.Header.Get("ETag"); got != tag {
+			t.Fatalf("%s: 304 ETag %q, want %q", name, got, tag)
+		}
+
+		// Multi-validator and wildcard forms match too.
+		for _, inm := range []string{`"stale", ` + tag, "*", "W/" + tag} {
+			if r := get(t, url, map[string]string{"If-None-Match": inm}); r.StatusCode != http.StatusNotModified {
+				t.Fatalf("%s: If-None-Match %q got %d, want 304", name, inm, r.StatusCode)
+			}
+		}
+
+		// Text representation: different body, own ETag.
+		textResp := get(t, url+"?format=text", nil)
+		if textResp.StatusCode != http.StatusOK {
+			t.Fatalf("%s text: status %d", name, textResp.StatusCode)
+		}
+		if ct := textResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("%s text: content type %q", name, ct)
+		}
+		if textTag := textResp.Header.Get("ETag"); textTag == tag {
+			t.Fatalf("%s: text and JSON share an ETag", name)
+		}
+
+		// Accept negotiation selects text as well.
+		acceptResp := get(t, url, map[string]string{"Accept": "text/plain"})
+		if ct := acceptResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("%s: Accept text/plain served %q", name, ct)
+		}
+	}
+	if reg.Counter("http.notmodified").Value() == 0 {
+		t.Fatal("no 304s recorded in metrics")
+	}
+}
+
+// TestServerColdStartAndErrors: before the first publish everything data-
+// bearing is 503; unknown tables 404; wrong methods 405.
+func TestServerColdStartAndErrors(t *testing.T) {
+	srv := stream.NewServer(nil, nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp := get(t, ts.URL+"/v1/tables/xidstat", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold table status %d, want 503", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold healthz status %d, want 503", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/v1/manifest", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("manifest without one: %d, want 404", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/v1/metrics", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics without registry: %d, want 404", resp.StatusCode)
+	}
+
+	_, served := serveFixture(t, nil)
+	if resp := get(t, served.URL+"/v1/tables/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown table status %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, served.URL+"/v1/tables/xidstat", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerHealthzMetricsManifest: the operational endpoints.
+func TestServerHealthzMetricsManifest(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("stream.snapshots").Add(1)
+	_, ts := serveFixture(t, reg)
+
+	resp := get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hz struct {
+		OK     bool `json:"ok"`
+		Status struct {
+			SealedEvents int `json:"sealedEvents"`
+		} `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.OK || hz.Status.SealedEvents == 0 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	resp = get(t, ts.URL+"/v1/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var rep struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.Counters["stream.snapshots"] != 1 {
+		t.Fatalf("metrics counters = %+v", rep.Metrics.Counters)
+	}
+
+	resp = get(t, ts.URL+"/v1/manifest", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest status %d", resp.StatusCode)
+	}
+	var man struct {
+		Tool string `json:"tool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "gpuresilienced" {
+		t.Fatalf("manifest tool = %q", man.Tool)
+	}
+}

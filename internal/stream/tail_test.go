@@ -1,0 +1,157 @@
+package stream_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpuresilience/internal/stream"
+)
+
+// collect gathers delivered lines for assertions.
+type collect struct {
+	lines []string
+	nos   []int64
+}
+
+func (c *collect) fn(source string, lineNo int64, line string) error {
+	c.lines = append(c.lines, line)
+	c.nos = append(c.nos, lineNo)
+	return nil
+}
+
+func appendFile(t *testing.T, path, text string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailerFollowsAppends: complete lines are delivered in order; a
+// partially written line is held back until its newline arrives, then
+// delivered whole.
+func TestTailerFollowsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "syslog.txt")
+	tl := stream.NewTailer(path)
+	defer tl.Close()
+	var c collect
+
+	// File does not exist yet: nothing, no error.
+	if n, err := tl.Poll(c.fn); err != nil || n != 0 {
+		t.Fatalf("pre-create poll = %d, %v", n, err)
+	}
+
+	appendFile(t, path, "one\ntwo\npart")
+	if n, err := tl.Poll(c.fn); err != nil || n != 2 {
+		t.Fatalf("poll = %d, %v; want 2 complete lines", n, err)
+	}
+	if len(c.lines) != 2 || c.lines[0] != "one" || c.lines[1] != "two" {
+		t.Fatalf("lines = %q", c.lines)
+	}
+
+	// Finish the partial line and add a CRLF one.
+	appendFile(t, path, "ial\r\nthree\n")
+	if n, err := tl.Poll(c.fn); err != nil || n != 2 {
+		t.Fatalf("poll = %d, %v; want the completed line + one more", n, err)
+	}
+	if c.lines[2] != "partial" || c.lines[3] != "three" {
+		t.Fatalf("lines = %q", c.lines)
+	}
+	if c.nos[3] != 4 {
+		t.Fatalf("line numbers = %v, want sequential", c.nos)
+	}
+}
+
+// TestTailerRotation: rename-and-recreate is detected; the old file is
+// drained before switching, and line numbers keep climbing across the
+// switch so the engine's duplicate guard stays valid.
+func TestTailerRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "syslog.txt")
+	tl := stream.NewTailer(path)
+	defer tl.Close()
+	var c collect
+
+	appendFile(t, path, "a1\na2\n")
+	if _, err := tl.Poll(c.fn); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotate: rename the live file, write a final line to the old
+	// incarnation, then recreate the path with new content.
+	rotated := filepath.Join(dir, "syslog.txt.1")
+	if err := os.Rename(path, rotated); err != nil {
+		t.Fatal(err)
+	}
+	appendFile(t, rotated, "a3\n")
+	appendFile(t, path, "b1\nb2\n")
+
+	if n, err := tl.Poll(c.fn); err != nil || n != 3 {
+		t.Fatalf("rotation poll = %d, %v; want old tail + new file", n, err)
+	}
+	want := []string{"a1", "a2", "a3", "b1", "b2"}
+	if len(c.lines) != len(want) {
+		t.Fatalf("lines = %q, want %q", c.lines, want)
+	}
+	for i, w := range want {
+		if c.lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, c.lines[i], w)
+		}
+		if c.nos[i] != int64(i+1) {
+			t.Fatalf("line number %d = %d, want monotonic across rotation", i, c.nos[i])
+		}
+	}
+	if tl.Lines() != 5 {
+		t.Fatalf("Lines() = %d, want 5", tl.Lines())
+	}
+}
+
+// TestTailerTruncation: copytruncate resets the offset and re-reads from
+// the start with fresh line numbers.
+func TestTailerTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "syslog.txt")
+	tl := stream.NewTailer(path)
+	defer tl.Close()
+	var c collect
+
+	appendFile(t, path, "old1\nold2\n")
+	if _, err := tl.Poll(c.fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendFile(t, path, "new1\n")
+	if n, err := tl.Poll(c.fn); err != nil || n != 1 {
+		t.Fatalf("post-truncate poll = %d, %v", n, err)
+	}
+	if c.lines[len(c.lines)-1] != "new1" || c.nos[len(c.nos)-1] != 3 {
+		t.Fatalf("lines=%q nos=%v", c.lines, c.nos)
+	}
+	if tl.Offset() != int64(len("new1\n")) {
+		t.Fatalf("offset = %d after truncation", tl.Offset())
+	}
+}
+
+// TestTailerSetStart: a resumed tailer skips checkpointed bytes.
+func TestTailerSetStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "syslog.txt")
+	appendFile(t, path, "one\ntwo\nthree\n")
+	tl := stream.NewTailer(path)
+	defer tl.Close()
+	tl.SetStart(int64(len("one\ntwo\n")), 2)
+	var c collect
+	if n, err := tl.Poll(c.fn); err != nil || n != 1 {
+		t.Fatalf("poll = %d, %v", n, err)
+	}
+	if c.lines[0] != "three" || c.nos[0] != 3 {
+		t.Fatalf("resumed delivery = %q %v", c.lines, c.nos)
+	}
+}
