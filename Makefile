@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples service-check fmt vet lint lint-baseline clean
+.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples service-check stress-check fmt vet lint lint-baseline clean
 
 all: build test
 
@@ -31,7 +31,7 @@ bench-quick:
 	GPURESIL_BENCH_SCALE=0.05 $(GO) test -bench=. -benchmem -timeout 30m ./...
 
 # Hot-path benchmark set for the perf gate (sub-benchmarks included).
-BENCH_SET = ^(BenchmarkExtractParallel|BenchmarkPipelineParallel|BenchmarkStageIExtract|BenchmarkJobDBLoad)$$
+BENCH_SET = ^(BenchmarkExtractParallel|BenchmarkPipelineParallel|BenchmarkStageIExtract|BenchmarkJobDBLoad|BenchmarkEndToEnd)$$
 
 # Snapshot the hot-path benchmarks (5% dataset, 4 repeats, per-metric
 # medians) into BENCH_baseline.json. Commit the refreshed file whenever a
@@ -72,6 +72,21 @@ examples:
 service-check:
 	$(GO) build -o bin/gpuresilienced ./cmd/gpuresilienced
 	$(GO) test ./internal/stream/ ./cmd/gpuresilienced/
+
+# Run two seeded library campaigns through the stress harness — one
+# batch-only, one replaying the log through the streaming engine under
+# kill/restart chaos — each twice, byte-comparing the JSON reports to prove
+# seeded reproducibility. Exit status is the campaigns' own assertions.
+# Mirrors the CI stress job; docs/scenarios.md has the format.
+stress-check:
+	$(GO) build -o bin/stress ./cmd/stress
+	bin/stress -scenario scenarios/faulty-gpu-burst.json -quiet -json stress-a1.json
+	bin/stress -scenario scenarios/faulty-gpu-burst.json -quiet -json stress-a2.json
+	cmp stress-a1.json stress-a2.json
+	bin/stress -scenario scenarios/gsp-storm.json -quiet -json stress-b1.json
+	bin/stress -scenario scenarios/gsp-storm.json -quiet -json stress-b2.json
+	cmp stress-b1.json stress-b2.json
+	rm -f stress-a1.json stress-a2.json stress-b1.json stress-b2.json
 
 fmt:
 	gofmt -w ./internal ./cmd ./examples ./bench_test.go ./doc.go

@@ -4,8 +4,9 @@
 // The full-scale dataset (1.45M jobs, ~57k errors, ~1.2M raw log lines) is
 // simulated once and shared; per-table benchmarks measure the analysis and
 // rendering stages over it, so `-bench Table` re-derives each artifact from
-// raw data every iteration. BenchmarkEndToEndScaled measures the whole
-// simulate->log->extract->analyze path at 2% scale.
+// raw data every iteration. BenchmarkEndToEnd measures the whole
+// simulate->log->extract->analyze path at the shared scale (perf-gated at
+// 5%); BenchmarkEndToEndScaled is the same path pinned at 2% scale.
 //
 // Run with:
 //
@@ -19,7 +20,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -336,6 +336,27 @@ func BenchmarkConcentration(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEnd measures the whole reproduction path — simulate, emit
+// raw logs, extract, coalesce, characterize — at the shared benchmark
+// scale (1.0 by default, so a plain run is the full-scale number the
+// ROADMAP tracks; GPURESIL_BENCH_SCALE lowers it, and the perf gate runs
+// it at 5% alongside the hot-path set).
+func BenchmarkEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := calib.NewScenario(uint64(i+1), benchScale())
+		out, err := core.EndToEnd(core.EndToEndConfig{
+			Cluster:  sc.Cluster,
+			Pipeline: pipelineCfg(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Results.CoalescedEvents == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
 // BenchmarkEndToEndScaled measures the whole reproduction path — simulate,
 // emit raw logs, extract, coalesce, characterize — at 2% scale.
 func BenchmarkEndToEndScaled(b *testing.B) {
@@ -443,20 +464,13 @@ func rawDataset(b *testing.B) ([]byte, []byte) {
 }
 
 // benchWorkerCounts are the -workers settings the parallel benchmarks
-// sweep: the sequential baseline and the full machine, plus intermediate
-// points when the machine has them.
+// sweep. The sweep is fixed — not derived from GOMAXPROCS — so the perf
+// gate's committed baseline carries the same entries on every machine:
+// the sequential baseline, a typical laptop core count, and an
+// oversubscribed setting that exercises the sharding overhead. Output is
+// byte-identical at every point; only the timing differs.
 func benchWorkerCounts() []int {
-	max := runtime.GOMAXPROCS(0)
-	counts := []int{1}
-	for _, w := range []int{2, 4, 8} {
-		if w < max {
-			counts = append(counts, w)
-		}
-	}
-	if max > 1 {
-		counts = append(counts, max)
-	}
-	return counts
+	return []int{1, 4, 16}
 }
 
 // BenchmarkExtractParallel measures sharded Stage I throughput over the raw

@@ -1,0 +1,94 @@
+// Command stress executes a declarative fault-campaign scenario end to end:
+// it compiles the scenario file onto the simulator, damages the log record
+// as directed (collector outages, corruption), analyzes the result through
+// the batch pipeline, optionally replays it through the streaming engine
+// under process-level chaos (kill/restart with checkpoint resume, rotation,
+// redelivery), evaluates the scenario's assertions, and emits a
+// deterministic JSON report plus a human-readable summary.
+//
+// Usage:
+//
+//	stress -scenario FILE [-seed N] [-workers N] [-json FILE] [-dir DIR] [-quiet]
+//
+// The process exits 0 when every assertion passed and 1 otherwise, so a CI
+// job can gate directly on the run. The same scenario file and seed always
+// produce a byte-identical JSON report, at any -workers value. See
+// docs/scenarios.md for the file format and scenarios/ for the library.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpuresilience/internal/cliflags"
+	"gpuresilience/internal/scenario"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run executes the campaign and returns the process exit code: 0 when every
+// assertion passed, 1 when any failed.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
+	var (
+		path     = fs.String("scenario", "", "scenario file (required)")
+		seed     = fs.Uint64("seed", 0, "override the scenario's seed (0 keeps the file's)")
+		jsonPath = fs.String("json", "", "write the JSON report to this file ('-' for stdout)")
+		dir      = fs.String("dir", "", "scratch directory for rotation replays (default: a temp dir)")
+		quiet    = fs.Bool("quiet", false, "suppress the human-readable summary")
+		workers  = cliflags.Workers(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *path == "" {
+		return 1, fmt.Errorf("-scenario is required")
+	}
+	sc, err := scenario.Load(*path)
+	if err != nil {
+		return 1, err
+	}
+	effSeed := sc.Seed
+	if *seed != 0 {
+		effSeed = *seed
+	}
+	compiled, err := scenario.Compile(sc, effSeed)
+	if err != nil {
+		return 1, err
+	}
+	rep, err := scenario.Run(compiled, scenario.Options{Workers: *workers, WorkDir: *dir})
+	if err != nil {
+		return 1, err
+	}
+	if *jsonPath != "" {
+		data, merr := rep.Marshal()
+		if merr != nil {
+			return 1, merr
+		}
+		if *jsonPath == "-" {
+			if _, werr := stdout.Write(data); werr != nil {
+				return 1, werr
+			}
+		} else if werr := os.WriteFile(*jsonPath, data, 0o644); werr != nil {
+			return 1, werr
+		}
+	}
+	if !*quiet {
+		if err := rep.Summary(stdout); err != nil {
+			return 1, err
+		}
+	}
+	if !rep.Pass {
+		return 1, nil
+	}
+	return 0, nil
+}

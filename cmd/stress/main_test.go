@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const passingDoc = `{
+	"name": "cli-pass", "seed": 3, "profile": "a100", "background": "none",
+	"horizon": "10d",
+	"events": [{"at": "2d", "kind": "mmu", "count": 3, "over": "1h"}],
+	"assert": {"minCoalesced": 1}
+}`
+
+const failingDoc = `{
+	"name": "cli-fail", "seed": 3, "profile": "a100", "background": "none",
+	"horizon": "10d",
+	"events": [{"at": "2d", "kind": "mmu", "count": 3, "over": "1h"}],
+	"assert": {"minCoalesced": 1000000}
+}`
+
+func TestRunExitCodes(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-scenario", writeScenario(t, passingDoc), "-quiet"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("passing scenario: code=%d err=%v", code, err)
+	}
+	code, err = run([]string{"-scenario", writeScenario(t, failingDoc), "-quiet"}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("failing scenario: code=%d err=%v, want code 1 and no error", code, err)
+	}
+	if code, err = run([]string{}, &out); err == nil || code != 1 {
+		t.Fatalf("missing -scenario: code=%d err=%v", code, err)
+	}
+	if code, _ = run([]string{"-scenario", filepath.Join(t.TempDir(), "absent.json")}, &out); code != 1 {
+		t.Fatalf("absent file: code=%d", code)
+	}
+}
+
+func TestRunJSONAndSummaryOutput(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-scenario", writeScenario(t, passingDoc), "-json", "-", "-quiet"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v", err)
+	}
+	if rep["scenario"] != "cli-pass" || rep["pass"] != true {
+		t.Fatalf("unexpected report fields: scenario=%v pass=%v", rep["scenario"], rep["pass"])
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	out.Reset()
+	code, err = run([]string{"-scenario", writeScenario(t, passingDoc), "-json", jsonPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if _, err := os.Stat(jsonPath); err != nil {
+		t.Fatalf("-json file not written: %v", err)
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("summary missing PASS line:\n%s", out.String())
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	path := writeScenario(t, passingDoc)
+	report := func(args ...string) []byte {
+		t.Helper()
+		var out bytes.Buffer
+		code, err := run(append(args, "-json", "-", "-quiet"), &out)
+		if err != nil || code != 0 {
+			t.Fatalf("code=%d err=%v", code, err)
+		}
+		return out.Bytes()
+	}
+	base := report("-scenario", path)
+	same := report("-scenario", path, "-seed", "3")
+	if !bytes.Equal(base, same) {
+		t.Fatal("explicit -seed equal to the file's changed the report")
+	}
+	other := report("-scenario", path, "-seed", "4")
+	var a, b map[string]any
+	if err := json.Unmarshal(base, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(other, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a["seed"] == b["seed"] {
+		t.Fatal("-seed override not reflected in the report")
+	}
+}

@@ -45,6 +45,15 @@
 // caching — byte-identical to the batch CLIs' output at any ingest chunking;
 // docs/service.md has the API and the equivalence argument.
 //
+// All of the above is exercised adversarially by internal/scenario and
+// cmd/stress: declarative JSON fault campaigns that compile onto the
+// simulator (timed XID bursts, zone cascades, chronic-node skew, collector
+// outages, log corruption), run through the batch pipeline and — under
+// kill/restart, redelivery, and rotation chaos — the streaming engine, and
+// gate on declarative assertions with byte-reproducible reports. The
+// committed campaign library lives in scenarios/; docs/scenarios.md has the
+// format and the chaos semantics.
+//
 // Entry points live under internal/core (pipeline orchestration) and
 // internal/calib (the paper-calibrated configuration); runnable tools are in
 // cmd/ and runnable examples in examples/. Root-level bench_test.go holds one
@@ -61,6 +70,7 @@
 // (docs/file-formats.md), the CLI tools (docs/cli.md), the streaming
 // service (docs/service.md), corruption-tolerant ingestion
 // (docs/robustness.md), the observability layer (docs/observability.md),
-// the performance engineering (docs/performance.md), and the custom
-// static analysis (docs/static-analysis.md).
+// the performance engineering (docs/performance.md), the custom
+// static analysis (docs/static-analysis.md), and the fault-campaign
+// scenario format (docs/scenarios.md).
 package gpuresilience

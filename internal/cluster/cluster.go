@@ -108,6 +108,15 @@ type Config struct {
 	// ChronicNodes is the size of the error-prone node set.
 	ChronicNodes int
 
+	// Inject schedules explicitly-placed episodes on top of the planned
+	// fault processes — the hook scenario compilation uses for timed XID
+	// bursts, GSP storms, and NVLink flaps. Each episode's times must be
+	// ascending and fall within [PreOp.Start, Op.End]; Node indexes the
+	// fleet; GPU -1 lets the episode pick a device (and is mandatory for
+	// NVLink, where the fabric chooses the link endpoints). Injected
+	// episodes run through the same impact rules as planned ones.
+	Inject []faults.Episode
+
 	Rules map[faults.Kind]ImpactRule
 
 	// PMUPropagateProb is the probability a PMU SPI failure propagates to
@@ -345,6 +354,9 @@ func (c *Cluster) Run() (*Result, error) {
 	if err := c.scheduleFaults(); err != nil {
 		return nil, err
 	}
+	if err := c.scheduleInjected(); err != nil {
+		return nil, err
+	}
 	if err := c.scheduleFaultyGPU(); err != nil {
 		return nil, err
 	}
@@ -472,6 +484,34 @@ func (c *Cluster) scheduleFaults() error {
 	return nil
 }
 
+// scheduleInjected validates and schedules the explicitly-placed episodes
+// from cfg.Inject.
+func (c *Cluster) scheduleInjected() error {
+	for i, ep := range c.cfg.Inject {
+		if ep.Kind < faults.KindMMU || ep.Kind > faults.KindSBE {
+			return fmt.Errorf("cluster: injected episode %d: invalid kind %d", i, int(ep.Kind))
+		}
+		if ep.Node < 0 || ep.Node >= len(c.nodes) {
+			return fmt.Errorf("cluster: injected episode %d: node %d out of range", i, ep.Node)
+		}
+		if len(ep.Times) == 0 {
+			return fmt.Errorf("cluster: injected episode %d: no error instants", i)
+		}
+		for k, at := range ep.Times {
+			if at.Before(c.cfg.PreOp.Start) || at.After(c.cfg.Op.End) {
+				return fmt.Errorf("cluster: injected episode %d: time %v outside the simulation window", i, at)
+			}
+			if k > 0 && at.Before(ep.Times[k-1]) {
+				return fmt.Errorf("cluster: injected episode %d: times not ascending", i)
+			}
+		}
+		if err := c.scheduleEpisode(ep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // episodeState tracks per-episode decisions.
 type episodeState struct {
 	ep      faults.Episode
@@ -497,7 +537,7 @@ func (c *Cluster) scheduleEpisode(ep faults.Episode) error {
 	if ep.Kind == faults.KindSBE {
 		st.hotRow = st.rng.Intn(1 << 16)
 	}
-	if ep.GPU >= node.NumGPUs() {
+	if ep.Kind != faults.KindNVLink && (ep.GPU < 0 || ep.GPU >= node.NumGPUs()) {
 		st.ep.GPU = st.rng.Intn(node.NumGPUs())
 	}
 	for i, at := range ep.Times {

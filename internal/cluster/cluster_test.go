@@ -128,6 +128,55 @@ func TestEventsInPeriodAndOrdered(t *testing.T) {
 	}
 }
 
+func TestInjectedEpisodesRun(t *testing.T) {
+	cfg := testConfig(9)
+	at := op.Start.Add(24 * time.Hour)
+	cfg.Inject = []faults.Episode{
+		{Kind: faults.KindGSP, Node: 2, GPU: 1,
+			Times: []time.Time{at, at.Add(time.Minute), at.Add(2 * time.Minute)}},
+		{Kind: faults.KindMMU, Node: 0, GPU: -1, // -1: pick a device
+			Times: []time.Time{at.Add(time.Hour)}},
+	}
+	res := run(t, cfg)
+	gsp := countCode(res.Events, xid.GSPRPCTimeout) + countCode(res.Events, xid.GSPError)
+	if gsp != 3 {
+		t.Fatalf("GSP events = %d, want the 3 injected", gsp)
+	}
+	if got := countCode(res.Events, xid.MMU); got != 1 {
+		t.Fatalf("MMU events = %d, want the 1 injected", got)
+	}
+	for _, ev := range res.Events {
+		if ev.Code == xid.GSPRPCTimeout || ev.Code == xid.GSPError {
+			if ev.Node != "gpub003" {
+				t.Fatalf("injected GSP event on %s, want gpub003", ev.Node)
+			}
+		}
+	}
+}
+
+func TestInjectedEpisodeValidation(t *testing.T) {
+	at := op.Start.Add(time.Hour)
+	cases := []faults.Episode{
+		{Kind: faults.Kind(0), Node: 0, Times: []time.Time{at}},
+		{Kind: faults.KindMMU, Node: 99, Times: []time.Time{at}},
+		{Kind: faults.KindMMU, Node: 0, Times: nil},
+		{Kind: faults.KindMMU, Node: 0, Times: []time.Time{preOp.Start.Add(-time.Hour)}},
+		{Kind: faults.KindMMU, Node: 0, Times: []time.Time{op.End.Add(time.Hour)}},
+		{Kind: faults.KindMMU, Node: 0, Times: []time.Time{at.Add(time.Minute), at}},
+	}
+	for i, ep := range cases {
+		cfg := testConfig(1)
+		cfg.Inject = []faults.Episode{ep}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(); err == nil {
+			t.Errorf("case %d: invalid injected episode accepted", i)
+		}
+	}
+}
+
 func TestGSPKillsWholeNodeAndServices(t *testing.T) {
 	cfg := testConfig(3)
 	cfg.OpFaults = []faults.ProcessSpec{

@@ -93,14 +93,21 @@ func (p ProcessSpec) validate() error {
 	if p.Episodes < 0 {
 		return fmt.Errorf("faults: %v: negative episode count", p.Kind)
 	}
+	if p.ChronicFrac < 0 || p.ChronicFrac > 1 {
+		return fmt.Errorf("faults: %v: chronic fraction out of [0,1]", p.Kind)
+	}
+	if p.Episodes == 0 {
+		// A zero-quota spec injects nothing, so its shape parameters are
+		// irrelevant and may be left zero. Scenario compilation produces
+		// such specs for zero-rate periods; rejecting them would force
+		// every caller to filter before Build.
+		return nil
+	}
 	if p.MeanSize < 1 {
 		return fmt.Errorf("faults: %v: mean episode size %v < 1", p.Kind, p.MeanSize)
 	}
 	if p.MeanGap <= 0 {
 		return fmt.Errorf("faults: %v: non-positive mean gap", p.Kind)
-	}
-	if p.ChronicFrac < 0 || p.ChronicFrac > 1 {
-		return fmt.Errorf("faults: %v: chronic fraction out of [0,1]", p.Kind)
 	}
 	return nil
 }
@@ -257,9 +264,13 @@ func RandomizeQuotas(rng *randx.Stream, specs []ProcessSpec) []ProcessSpec {
 }
 
 // PoissonEpisodes converts a rate (episodes per hour) into a sampled episode
-// count for the period — the free-running alternative to quota mode.
+// count for the period — the free-running alternative to quota mode. A
+// non-positive rate or a degenerate (zero- or negative-length) period yields
+// zero episodes without consuming randomness, so a scenario that compiles a
+// zero-rate window gets an explicit empty schedule rather than a Poisson
+// draw over a nonsensical mean.
 func PoissonEpisodes(rng *randx.Stream, ratePerHour float64, period stats.Period) int {
-	if ratePerHour <= 0 {
+	if ratePerHour <= 0 || period.Hours() <= 0 {
 		return 0
 	}
 	return rng.Poisson(ratePerHour * period.Hours())
@@ -269,7 +280,22 @@ func PoissonEpisodes(rng *randx.Stream, ratePerHour float64, period stats.Period
 // [start, start+dur), uniform order statistics. This reproduces the 17-day
 // uncontained-memory-error burst from the faulty pre-operational GPU
 // (38,900 coalesced errors, >1M raw log lines).
+//
+// Edge cases are explicit rather than silently degenerate: a non-positive
+// count or a negative duration returns nil (nothing to schedule — negative
+// offsets would place instants before start, unsorted); a zero duration is
+// an instantaneous volley, all count instants at start.
 func BurstTimes(rng *randx.Stream, start time.Time, dur time.Duration, count int) []time.Time {
+	if count <= 0 || dur < 0 {
+		return nil
+	}
+	if dur == 0 {
+		out := make([]time.Time, count)
+		for i := range out {
+			out[i] = start
+		}
+		return out
+	}
 	offsets := rng.UniformOrderStats(count, dur.Hours())
 	out := make([]time.Time, len(offsets))
 	for i, h := range offsets {

@@ -193,6 +193,46 @@ func TestBurstTimes(t *testing.T) {
 	}
 }
 
+func TestBurstTimesEdgeCases(t *testing.T) {
+	start := time.Date(2022, 5, 5, 0, 0, 0, 0, time.UTC)
+	if got := BurstTimes(randx.NewStream(1), start, time.Hour, 0); got != nil {
+		t.Fatalf("zero count: got %d times, want nil", len(got))
+	}
+	if got := BurstTimes(randx.NewStream(1), start, time.Hour, -3); got != nil {
+		t.Fatalf("negative count: got %d times, want nil", len(got))
+	}
+	if got := BurstTimes(randx.NewStream(1), start, -time.Hour, 10); got != nil {
+		t.Fatalf("negative duration: got %d times, want nil", len(got))
+	}
+	// Zero duration: an instantaneous volley of exactly count instants, all
+	// at start.
+	got := BurstTimes(randx.NewStream(1), start, 0, 7)
+	if len(got) != 7 {
+		t.Fatalf("zero duration: got %d times, want 7", len(got))
+	}
+	for i, at := range got {
+		if !at.Equal(start) {
+			t.Fatalf("zero duration: time %d = %v, want %v", i, at, start)
+		}
+	}
+}
+
+func TestZeroEpisodeSpecAccepted(t *testing.T) {
+	// A zero-quota spec with zero shape parameters is valid and contributes
+	// nothing — what scenario compilation emits for a zero-rate period.
+	plan, err := Build(1, period, topo, []ProcessSpec{{Kind: KindGSP}})
+	if err != nil {
+		t.Fatalf("zero-episode spec rejected: %v", err)
+	}
+	if len(plan.Episodes) != 0 {
+		t.Fatalf("zero-episode spec produced %d episodes", len(plan.Episodes))
+	}
+	// Shape parameters are still validated once the quota is positive.
+	if _, err := Build(1, period, topo, []ProcessSpec{{Kind: KindGSP, Episodes: 1}}); err == nil {
+		t.Fatal("positive-quota spec with zero shape parameters accepted")
+	}
+}
+
 func TestPoissonEpisodes(t *testing.T) {
 	rng := randx.NewStream(6)
 	var sum float64
@@ -208,6 +248,10 @@ func TestPoissonEpisodes(t *testing.T) {
 	}
 	if PoissonEpisodes(rng, 0, period) != 0 {
 		t.Fatal("zero rate should yield zero episodes")
+	}
+	empty := stats.Period{Name: "empty", Start: period.Start, End: period.Start}
+	if got := PoissonEpisodes(rng, rate, empty); got != 0 {
+		t.Fatalf("zero-length period yielded %d episodes", got)
 	}
 }
 

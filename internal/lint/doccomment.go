@@ -12,13 +12,15 @@ var docPkgs = map[string]bool{
 	"obs":      true,
 	"cliflags": true,
 	"stream":   true,
+	"scenario": true,
 }
 
 // docImportPaths extends the coverage to packages whose name is ambiguous —
-// the daemon is `package main` like every other command, so it is matched
-// by import path instead.
+// the daemon and the stress harness are `package main` like every other
+// command, so they are matched by import path instead.
 var docImportPaths = map[string]bool{
 	"gpuresilience/cmd/gpuresilienced": true,
+	"gpuresilience/cmd/stress":         true,
 }
 
 // DocComment warns about exported identifiers — functions, methods, types,
@@ -26,7 +28,7 @@ var docImportPaths = map[string]bool{
 // comment, in the packages whose APIs the rest of the repo programs against.
 var DocComment = &Analyzer{
 	Name:     "doccomment",
-	Doc:      "exported identifiers in obs, cliflags, stream, and gpuresilienced must carry doc comments",
+	Doc:      "exported identifiers in obs, cliflags, stream, scenario, gpuresilienced, and stress must carry doc comments",
 	Severity: SevWarn,
 	Run:      runDocComment,
 }

@@ -1,0 +1,422 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/cluster"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/faults"
+	"gpuresilience/internal/logfuzz"
+	"gpuresilience/internal/randx"
+	"gpuresilience/internal/stream"
+)
+
+// DefaultScale is the calibration scale used when a scenario omits one:
+// half a percent of Delta keeps a campaign in CI territory.
+const DefaultScale = 0.005
+
+// PlannedEvent is one compiled injection with its resolved placement — the
+// report's per-event ledger entry.
+type PlannedEvent struct {
+	// Source locates the scenario stanza ("events[0]", "cascades[1]/zone/2").
+	Source string `json:"source"`
+	// Kind is the fault process name.
+	Kind string `json:"kind"`
+	// Node is the resolved node name.
+	Node string `json:"node"`
+	// NodeIdx is the resolved node's fleet index.
+	NodeIdx int `json:"nodeIdx"`
+	// GPU is the pinned device index, or -1 when the simulator picks.
+	GPU int `json:"gpu"`
+	// Start is the burst window's lower bound.
+	Start time.Time `json:"start"`
+	// End is the burst window's upper bound.
+	End time.Time `json:"end"`
+	// Count is the number of injected error instants.
+	Count int `json:"count"`
+}
+
+// OutageWindow is one resolved collector outage: lines from the node set
+// timestamped inside [Start, End) vanish from the log record.
+type OutageWindow struct {
+	// Source locates the scenario stanza ("outages[0]/group/2").
+	Source string `json:"source"`
+	// Start is the blanked window's inclusive lower bound.
+	Start time.Time `json:"start"`
+	// End is the blanked window's exclusive upper bound.
+	End time.Time `json:"end"`
+	// Nodes is the affected node-name set; nil means the whole fleet.
+	Nodes map[string]bool `json:"-"`
+	// NodeCount is len(Nodes), or the fleet size for a whole-fleet outage.
+	NodeCount int `json:"nodeCount"`
+}
+
+// Compiled is a scenario resolved against its calibration profile: the
+// simulator configuration with injections attached, the pipeline settings,
+// the damage plan, and the normalized replay plan.
+type Compiled struct {
+	// Scenario is the validated source document.
+	Scenario *Scenario
+	// Seed is the effective campaign seed (scenario's, or the CLI override).
+	Seed uint64
+	// Cluster is the ready-to-run simulation configuration.
+	Cluster cluster.Config
+	// Pipeline is the batch analysis configuration (Workers left zero; the
+	// runner sets it).
+	Pipeline core.PipelineConfig
+	// Planned are the compiled injections, in stanza order.
+	Planned []PlannedEvent
+	// Outages are the resolved collector-outage windows.
+	Outages []OutageWindow
+	// Corrupt is the logfuzz configuration, nil when the scenario has no
+	// corruption stanza. The runner attaches the Parses hook.
+	Corrupt *logfuzz.Config
+	// Replay is the normalized replay plan (defaults filled in), nil for
+	// batch-only campaigns.
+	Replay *Replay
+}
+
+// parseKind maps a scenario kind name onto the fault process enum.
+func parseKind(name string) (faults.Kind, error) {
+	for k := faults.KindMMU; k <= faults.KindSBE; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault kind %q", name)
+}
+
+// parseOps maps corruption op names onto the logfuzz repertoire; empty means
+// all ops.
+func parseOps(names []string) ([]logfuzz.Op, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	all := logfuzz.AllOps()
+	out := make([]logfuzz.Op, 0, len(names))
+	for _, n := range names {
+		found := false
+		for _, o := range all {
+			if o.String() == n {
+				out = append(out, o)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown corruption op %q", n)
+		}
+	}
+	return out, nil
+}
+
+// fleetCounts resolves a fleet override into 4-way and 8-way node counts by
+// largest-remainder apportionment over the template weights.
+func fleetCounts(f *Fleet) (n4, n8 int) {
+	if len(f.Templates) == 0 {
+		return f.Nodes, 0
+	}
+	total := 0
+	for _, t := range f.Templates {
+		total += t.Weight
+	}
+	counts := make([]int, len(f.Templates))
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(f.Templates))
+	for i, t := range f.Templates {
+		exact := float64(f.Nodes) * float64(t.Weight) / float64(total)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{i, exact - float64(counts[i])}
+	}
+	for assigned < f.Nodes {
+		// Largest remainder wins each leftover node; ties break toward the
+		// earlier template, keeping apportionment deterministic.
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	for i, t := range f.Templates {
+		if t.GPUs == 8 {
+			n8 += counts[i]
+		} else {
+			n4 += counts[i]
+		}
+	}
+	return n4, n8
+}
+
+// nodeName renders the fleet naming scheme for a node index.
+func nodeName(idx int) string { return fmt.Sprintf("gpub%03d", idx+1) }
+
+// zoneRange returns zone z's contiguous node-index range [lo, hi) when the
+// fleet splits into zones pieces.
+func zoneRange(total, zones, z int) (lo, hi int) {
+	return z * total / zones, (z + 1) * total / zones
+}
+
+// Compile resolves a validated scenario against its calibration profile.
+// The seed argument is the effective campaign seed — normally sc.Seed, or
+// the CLI override. Compilation itself consumes randomness only through
+// streams derived from that seed, so equal (scenario, seed) pairs always
+// compile to identical configurations.
+func Compile(sc *Scenario, seed uint64) (*Compiled, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	scale := sc.Scale
+	if scale == 0 {
+		scale = DefaultScale
+	}
+	var base calib.Scenario
+	switch sc.Profile {
+	case "hopper":
+		base = calib.NewHopperScenario(seed, scale)
+	default:
+		base = calib.NewScenario(seed, scale)
+	}
+	cfg := base.Cluster
+
+	calibrated := sc.Background != "none"
+	if !calibrated {
+		cfg.PreOpFaults = nil
+		cfg.OpFaults = nil
+		cfg.FaultyGPU = nil
+		cfg.HealthCheck = nil
+	}
+	if wantWorkload := sc.Workload; (wantWorkload != nil && !*wantWorkload) ||
+		(wantWorkload == nil && !calibrated) {
+		cfg.Workload = nil
+	}
+
+	if h := sc.Horizon.D(); h > 0 {
+		end := cfg.Op.Start.Add(h)
+		if !end.After(cfg.Op.Start) || end.After(cfg.Op.End) {
+			return nil, fmt.Errorf("scenario %s: horizon %v outside the profile's operational period", sc.Name, h)
+		}
+		cfg.Op.End = end
+		if cfg.Workload != nil {
+			// The workload's job count is scale-determined, so truncating its
+			// period compresses the same jobs into the shorter horizon and
+			// utilization holds.
+			cfg.Workload.Period = cfg.Op
+		}
+	}
+
+	if f := sc.Fleet; f != nil {
+		cfg.Nodes4, cfg.Nodes8 = fleetCounts(f)
+		if f.ChronicNodes > 0 {
+			cfg.ChronicNodes = f.ChronicNodes
+		} else if cfg.ChronicNodes > f.Nodes {
+			cfg.ChronicNodes = f.Nodes
+		}
+		if fg := cfg.FaultyGPU; fg != nil && fg.Node >= f.Nodes {
+			// The calibrated defective device lives on gpub013; a smaller
+			// fleet relocates it rather than dropping the scenario.
+			fg.Node = f.Nodes - 1
+		}
+	}
+	total := cfg.Nodes4 + cfg.Nodes8
+
+	rng := randx.Derive(seed, "scenario/"+sc.Name)
+	c := &Compiled{Scenario: sc, Seed: seed, Cluster: cfg}
+
+	gpusAt := func(idx int) int {
+		if idx < c.Cluster.Nodes4 {
+			return 4
+		}
+		return 8
+	}
+	addEvent := func(source, kindName string, count int, start time.Time, over time.Duration,
+		node, gpu int, erng *randx.Stream) error {
+		kind, err := parseKind(kindName)
+		if err != nil {
+			return err
+		}
+		end := start.Add(over)
+		if start.Before(c.Cluster.Op.Start) || end.After(c.Cluster.Op.End) {
+			return fmt.Errorf("window [%v, %v] outside the operational period", start, end)
+		}
+		if node < 0 || node >= total {
+			return fmt.Errorf("node %d out of the %d-node fleet", node, total)
+		}
+		if kind == faults.KindNVLink {
+			if gpu >= 0 {
+				return fmt.Errorf("nvlink leaves device choice to the fabric; drop the gpu field")
+			}
+		} else if gpu >= gpusAt(node) {
+			return fmt.Errorf("gpu %d out of range on %d-way node %s", gpu, gpusAt(node), nodeName(node))
+		}
+		times := faults.BurstTimes(erng.Derive("times"), start, over, count)
+		c.Cluster.Inject = append(c.Cluster.Inject, faults.Episode{
+			Kind: kind, Node: node, GPU: gpu, Times: times,
+		})
+		c.Planned = append(c.Planned, PlannedEvent{
+			Source: source, Kind: kindName, Node: nodeName(node), NodeIdx: node,
+			GPU: gpu, Start: start, End: end, Count: count,
+		})
+		return nil
+	}
+
+	for i, ev := range sc.Events {
+		source := fmt.Sprintf("events[%d]", i)
+		erng := rng.Derive(source)
+		node := -1
+		switch {
+		case ev.Node != nil:
+			node = *ev.Node
+		case ev.Zone != nil:
+			lo, hi := zoneRange(total, ev.Zones, *ev.Zone)
+			if lo == hi {
+				return nil, fmt.Errorf("scenario %s: %s: zone %d of %d is empty on a %d-node fleet", sc.Name, source, *ev.Zone, ev.Zones, total)
+			}
+			node = lo + erng.Intn(hi-lo)
+		default:
+			node = erng.Intn(total)
+		}
+		gpu := -1
+		if ev.GPU != nil {
+			gpu = *ev.GPU
+		}
+		start := cfg.Op.Start.Add(ev.At.D())
+		if err := addEvent(source, ev.Kind, ev.Count, start, ev.Over.D(), node, gpu, erng); err != nil {
+			return nil, fmt.Errorf("scenario %s: %s: %w", sc.Name, source, err)
+		}
+	}
+
+	for i, ca := range sc.Cascades {
+		if ca.Zones > total {
+			return nil, fmt.Errorf("scenario %s: cascades[%d]: %d zones over a %d-node fleet", sc.Name, i, ca.Zones, total)
+		}
+		for z := 0; z < ca.Zones; z++ {
+			source := fmt.Sprintf("cascades[%d]/zone/%d", i, z)
+			erng := rng.Derive(source)
+			lo, hi := zoneRange(total, ca.Zones, z)
+			node := lo + erng.Intn(hi-lo)
+			start := cfg.Op.Start.Add(ca.Start.D() + time.Duration(z)*ca.Stagger.D())
+			if err := addEvent(source, ca.Kind, ca.Count, start, ca.Over.D(), node, -1, erng); err != nil {
+				return nil, fmt.Errorf("scenario %s: %s: %w", sc.Name, source, err)
+			}
+		}
+	}
+
+	for i, sk := range sc.Skew {
+		kind, err := parseKind(sk.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: skew[%d]: %w", sc.Name, i, err)
+		}
+		spec := faults.ProcessSpec{
+			Kind: kind, Episodes: sk.Episodes, MeanSize: sk.MeanSize,
+			MeanGap: sk.MeanGap.D(), ChronicFrac: sk.ChronicFrac,
+		}
+		if sk.Period == "pre" {
+			c.Cluster.PreOpFaults = append(c.Cluster.PreOpFaults, spec)
+		} else {
+			c.Cluster.OpFaults = append(c.Cluster.OpFaults, spec)
+		}
+	}
+
+	fleetNames := make(map[string]bool, total)
+	for i := 0; i < total; i++ {
+		fleetNames[nodeName(i)] = true
+	}
+	for i, o := range sc.Outages {
+		base := cfg.Op.Start.Add(o.Start.D())
+		switch {
+		case o.Groups > 0:
+			if o.Groups > total {
+				return nil, fmt.Errorf("scenario %s: outages[%d]: %d groups over a %d-node fleet", sc.Name, i, o.Groups, total)
+			}
+			stride := o.Stride.D()
+			if stride == 0 {
+				stride = o.Duration.D()
+			}
+			for g := 0; g < o.Groups; g++ {
+				lo, hi := zoneRange(total, o.Groups, g)
+				nodes := make(map[string]bool, hi-lo)
+				for n := lo; n < hi; n++ {
+					nodes[nodeName(n)] = true
+				}
+				start := base.Add(time.Duration(g) * stride)
+				c.Outages = append(c.Outages, OutageWindow{
+					Source: fmt.Sprintf("outages[%d]/group/%d", i, g),
+					Start:  start, End: start.Add(o.Duration.D()),
+					Nodes: nodes, NodeCount: len(nodes),
+				})
+			}
+		case len(o.Nodes) > 0:
+			nodes := make(map[string]bool, len(o.Nodes))
+			for _, n := range o.Nodes {
+				if !fleetNames[n] {
+					return nil, fmt.Errorf("scenario %s: outages[%d]: node %q not in the fleet", sc.Name, i, n)
+				}
+				nodes[n] = true
+			}
+			c.Outages = append(c.Outages, OutageWindow{
+				Source: fmt.Sprintf("outages[%d]", i),
+				Start:  base, End: base.Add(o.Duration.D()),
+				Nodes: nodes, NodeCount: len(nodes),
+			})
+		default:
+			c.Outages = append(c.Outages, OutageWindow{
+				Source: fmt.Sprintf("outages[%d]", i),
+				Start:  base, End: base.Add(o.Duration.D()),
+				NodeCount: total,
+			})
+		}
+	}
+
+	c.Pipeline = core.DefaultPipelineConfig(c.Cluster.PreOp, c.Cluster.Op, total)
+	if co := sc.Corruption; co != nil {
+		ops, err := parseOps(co.Ops)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		fuzzSeed := co.Seed
+		if fuzzSeed == 0 {
+			fuzzSeed = rng.Derive("corruption").Uint64()
+		}
+		oversize := co.OversizeBytes
+		if oversize == 0 {
+			oversize = 64 << 10 // keep injected lines memory-sane
+		}
+		c.Corrupt = &logfuzz.Config{
+			Seed: fuzzSeed, Rate: co.Rate, Ops: ops, OversizeBytes: oversize,
+		}
+		c.Pipeline.Lenient = true
+	}
+	if in := sc.Ingest; in != nil {
+		if in.Lenient != nil {
+			c.Pipeline.Lenient = *in.Lenient
+		}
+		c.Pipeline.MaxBadLines = in.MaxBadLines
+		c.Pipeline.MaxBadFrac = in.MaxBadFrac
+	}
+
+	if r := sc.Replay; r != nil {
+		norm := *r
+		if norm.Chunk == 0 {
+			norm.Chunk = 256
+		}
+		if norm.Horizon == 0 {
+			norm.Horizon = Duration(stream.DefaultHorizon)
+		}
+		if norm.Redeliver == 0 {
+			norm.Redeliver = 32
+		}
+		c.Replay = &norm
+	}
+	return c, nil
+}

@@ -1,0 +1,352 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is a campaign's full outcome: what was injected, what the damage
+// did, what the pipeline recovered, how the replays behaved, and whether the
+// scenario's contract held. It is deterministic — no wall-clock, no worker
+// count, no absolute paths — so equal (scenario, seed) runs marshal to
+// byte-identical JSON at any parallelism.
+type Report struct {
+	// Scenario echoes the campaign name.
+	Scenario string `json:"scenario"`
+	// Description echoes the campaign description.
+	Description string `json:"description,omitempty"`
+	// Seed is the effective seed the campaign ran under.
+	Seed uint64 `json:"seed"`
+	// Profile is the calibration profile ("a100" or "hopper").
+	Profile string `json:"profile"`
+	// Scale is the effective calibration scale.
+	Scale float64 `json:"scale"`
+	// Fleet records the compiled node layout.
+	Fleet FleetReport `json:"fleet"`
+	// Op bounds the (possibly horizon-truncated) operational period.
+	Op PeriodReport `json:"op"`
+	// Sim summarizes the simulation ground truth.
+	Sim SimReport `json:"sim"`
+	// Damage summarizes outage and corruption injection; nil when the
+	// campaign damages nothing.
+	Damage *DamageReport `json:"damage,omitempty"`
+	// Batch is the damaged-log batch analysis; nil when the ingest budget
+	// tripped (see BudgetExhausted).
+	Batch *BatchReport `json:"batch,omitempty"`
+	// BudgetExhausted records that lenient Stage I refused the log.
+	BudgetExhausted bool `json:"budgetExhausted,omitempty"`
+	// BudgetError is the refusal's message.
+	BudgetError string `json:"budgetError,omitempty"`
+	// Metrics are the clean-run comparisons; nil alongside Batch.
+	Metrics *MetricsReport `json:"metrics,omitempty"`
+	// Events are the per-injection outcomes, in stanza order.
+	Events []EventOutcome `json:"events,omitempty"`
+	// Replays are the streaming-replay outcomes, one per cadence.
+	Replays []ReplayOutcome `json:"replays,omitempty"`
+	// Obs is the worker-invariant simulation metric snapshot (sim.* series
+	// only; pipeline spans carry wall time and are excluded by design).
+	Obs map[string]int64 `json:"obs,omitempty"`
+	// Assertions are the evaluated contract clauses.
+	Assertions []AssertionResult `json:"assertions"`
+	// Pass is the conjunction of the assertions.
+	Pass bool `json:"pass"`
+}
+
+// FleetReport records the compiled node layout.
+type FleetReport struct {
+	// Nodes4 counts 4-way nodes.
+	Nodes4 int `json:"nodes4"`
+	// Nodes8 counts 8-way nodes.
+	Nodes8 int `json:"nodes8"`
+	// GPUs is the fleet device total.
+	GPUs int `json:"gpus"`
+	// ChronicNodes sizes the error-prone set.
+	ChronicNodes int `json:"chronicNodes"`
+}
+
+// PeriodReport bounds a period in the report.
+type PeriodReport struct {
+	// Start is the period's inclusive lower bound.
+	Start time.Time `json:"start"`
+	// End is the period's exclusive upper bound.
+	End time.Time `json:"end"`
+}
+
+// SimReport summarizes the simulation ground truth.
+type SimReport struct {
+	// RawLogLines is how many raw lines the syslog writer emitted.
+	RawLogLines int `json:"rawLogLines"`
+	// TruthEvents is the simulator's own (pre-duplication) event count.
+	TruthEvents int `json:"truthEvents"`
+	// Jobs counts scheduled jobs in the workload ledger.
+	Jobs int `json:"jobs"`
+	// Downtimes counts node downtime intervals.
+	Downtimes int `json:"downtimes"`
+	// ServiceEvents counts service-action ledger entries.
+	ServiceEvents int `json:"serviceEvents"`
+}
+
+// DamageReport summarizes what the damage phase did to the record.
+type DamageReport struct {
+	// OutageWindows is how many resolved windows blanked collection.
+	OutageWindows int `json:"outageWindows,omitempty"`
+	// OutageDroppedLines is how many lines the outages erased.
+	OutageDroppedLines int `json:"outageDroppedLines,omitempty"`
+	// CorruptTouched counts lines logfuzz mutated in place.
+	CorruptTouched int `json:"corruptTouched,omitempty"`
+	// CorruptInserted counts lines logfuzz added from thin air.
+	CorruptInserted int `json:"corruptInserted,omitempty"`
+	// CorruptByOp breaks the mutations down by operator name.
+	CorruptByOp map[string]int `json:"corruptByOp,omitempty"`
+}
+
+// BatchReport is the damaged-log batch analysis summary.
+type BatchReport struct {
+	// Lines is Stage I's scanned-line total.
+	Lines int `json:"lines"`
+	// XIDLines counts lines recognized as XID records.
+	XIDLines int `json:"xidLines"`
+	// Noise counts well-formed non-XID lines.
+	Noise int `json:"noise"`
+	// BadLines counts lines lenient ingest skipped (zero on strict runs by
+	// definition — a strict run fails instead of skipping).
+	BadLines int `json:"badLines"`
+	// RawEvents counts Stage II input records.
+	RawEvents int `json:"rawEvents"`
+	// CoalescedEvents counts Stage II output records.
+	CoalescedEvents int `json:"coalescedEvents"`
+	// PreOpErrors is the pre-operational Table I error total.
+	PreOpErrors int `json:"preOpErrors"`
+	// OpErrors is the operational Table I error total.
+	OpErrors int `json:"opErrors"`
+	// Availability is the §V-C fleet availability in [0, 1].
+	Availability float64 `json:"availability"`
+	// MTTRHours is the §V-C mean time to repair, in hours.
+	MTTRHours float64 `json:"mttrHours"`
+	// LostNodeHours is the §V-C lost node-hour total.
+	LostNodeHours float64 `json:"lostNodeHours"`
+}
+
+// MetricsReport compares the damaged run against the clean reference run.
+type MetricsReport struct {
+	// CleanCoalescedEvents is the damage-free run's record count.
+	CleanCoalescedEvents int `json:"cleanCoalescedEvents"`
+	// SurvivingFraction is damaged/clean coalesced records.
+	SurvivingFraction float64 `json:"survivingFraction"`
+	// TableDrift is the L1 distance of per-group per-period Table I counts
+	// over the clean total.
+	TableDrift float64 `json:"tableDrift"`
+}
+
+// EventOutcome pairs one planned injection with what the pipeline saw.
+type EventOutcome struct {
+	PlannedEvent
+	// Observed counts coalesced records on the target node (and pinned
+	// device, when set) inside the burst window plus one coalescing window
+	// of slack. Under a calibrated background the count includes unrelated
+	// background errors that happen to share the node and window.
+	Observed int `json:"observed"`
+}
+
+// ReplayOutcome is one streaming replay's result.
+type ReplayOutcome struct {
+	// Mode is "kill", "rotate", or "plain".
+	Mode string `json:"mode"`
+	// KillEvery is the kill cadence in lines (kill mode only).
+	KillEvery int `json:"killEvery,omitempty"`
+	// Lines is how many unique lines the engine consumed.
+	Lines int64 `json:"lines"`
+	// Dups is how many redelivered lines the engine absorbed as duplicates.
+	Dups int64 `json:"dups"`
+	// Kills counts engine kill/restart cycles (kill mode only).
+	Kills int `json:"kills,omitempty"`
+	// Rotations counts mid-stream file rotations (rotate mode only).
+	Rotations int `json:"rotations,omitempty"`
+	// Checkpoints counts checkpoint captures (each JSON-roundtripped).
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// Quarantined counts late events the engine refused to backfill.
+	Quarantined int64 `json:"quarantined"`
+	// SealedEvents is the engine's final kept-record count.
+	SealedEvents int `json:"sealedEvents"`
+	// Equivalent is true when every table matched both references
+	// byte-for-byte.
+	Equivalent bool `json:"equivalent"`
+	// Mismatch names the first divergent table when Equivalent is false.
+	Mismatch string `json:"mismatch,omitempty"`
+}
+
+// AssertionResult is one evaluated contract clause.
+type AssertionResult struct {
+	// Name identifies the clause.
+	Name string `json:"name"`
+	// Ok is the verdict.
+	Ok bool `json:"ok"`
+	// Got renders the observed value.
+	Got string `json:"got"`
+	// Want renders the threshold the clause compared against.
+	Want string `json:"want"`
+}
+
+// MarshalJSON is deliberately not customized; Marshal renders the canonical
+// byte form all reproducibility checks compare.
+
+// Marshal renders the report's canonical JSON byte form: indented, sorted
+// map keys (encoding/json's default), newline-terminated.
+func (r *Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Summary writes the human-readable campaign digest.
+func (r *Report) Summary(w io.Writer) error {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "%s: scenario %q (profile %s, seed %d, scale %g)\n",
+		status, r.Scenario, r.Profile, r.Seed, r.Scale)
+	fmt.Fprintf(w, "  fleet: %d nodes (%d four-way, %d eight-way), %d GPUs\n",
+		r.Fleet.Nodes4+r.Fleet.Nodes8, r.Fleet.Nodes4, r.Fleet.Nodes8, r.Fleet.GPUs)
+	fmt.Fprintf(w, "  sim: %d truth events -> %d raw log lines, %d jobs, %d downtimes\n",
+		r.Sim.TruthEvents, r.Sim.RawLogLines, r.Sim.Jobs, r.Sim.Downtimes)
+	if d := r.Damage; d != nil {
+		fmt.Fprintf(w, "  damage: %d outage windows dropped %d lines; corruption touched %d, inserted %d\n",
+			d.OutageWindows, d.OutageDroppedLines, d.CorruptTouched, d.CorruptInserted)
+	}
+	if r.BudgetExhausted {
+		fmt.Fprintf(w, "  ingest: budget exhausted: %s\n", r.BudgetError)
+	}
+	if b := r.Batch; b != nil {
+		fmt.Fprintf(w, "  batch: %d lines -> %d raw events -> %d coalesced (pre-op %d, op %d), availability %.4f\n",
+			b.Lines, b.RawEvents, b.CoalescedEvents, b.PreOpErrors, b.OpErrors, b.Availability)
+	}
+	if m := r.Metrics; m != nil {
+		fmt.Fprintf(w, "  vs clean: surviving %.4f, table drift %.4f\n",
+			m.SurvivingFraction, m.TableDrift)
+	}
+	for _, ev := range r.Events {
+		fmt.Fprintf(w, "  event %s: %s x%d on %s", ev.Source, ev.Kind, ev.Count, ev.Node)
+		if ev.GPU >= 0 {
+			fmt.Fprintf(w, " gpu %d", ev.GPU)
+		}
+		fmt.Fprintf(w, " -> %d observed\n", ev.Observed)
+	}
+	for _, rp := range r.Replays {
+		verdict := "byte-identical"
+		if !rp.Equivalent {
+			verdict = "DIVERGED at " + rp.Mismatch
+		}
+		fmt.Fprintf(w, "  replay %s", rp.Mode)
+		if rp.KillEvery > 0 {
+			fmt.Fprintf(w, " (kill every %d)", rp.KillEvery)
+		}
+		fmt.Fprintf(w, ": %d lines, %d dups, %d kills, %d rotations, %d quarantined -> %s\n",
+			rp.Lines, rp.Dups, rp.Kills, rp.Rotations, rp.Quarantined, verdict)
+	}
+	for _, a := range r.Assertions {
+		mark := "ok"
+		if !a.Ok {
+			mark = "FAILED"
+		}
+		fmt.Fprintf(w, "  assert %-22s %-6s got %s, want %s\n", a.Name, mark, a.Got, a.Want)
+	}
+	_, err := fmt.Fprintf(w, "  %s\n", status)
+	return err
+}
+
+// sortedOps renders a logfuzz per-op count map with string keys for stable
+// JSON.
+func sortedOps(byOp map[string]int) map[string]int {
+	if len(byOp) == 0 {
+		return nil
+	}
+	return byOp
+}
+
+// evaluate runs the scenario's assertion clauses over the finished report
+// and fills Assertions and Pass. Clauses whose subject was skipped (e.g.
+// drift after an expected budget refusal) are not evaluated.
+func (r *Report) evaluate(sc *Scenario) {
+	a := sc.Assert
+	add := func(name string, ok bool, got, want string) {
+		r.Assertions = append(r.Assertions, AssertionResult{Name: name, Ok: ok, Got: got, Want: want})
+	}
+
+	budgeted := sc.Ingest != nil && (sc.Ingest.MaxBadLines > 0 || sc.Ingest.MaxBadFrac > 0)
+	if a.ExpectBudgetExhausted || budgeted {
+		want := "not exhausted"
+		if a.ExpectBudgetExhausted {
+			want = "exhausted"
+		}
+		got := "not exhausted"
+		if r.BudgetExhausted {
+			got = "exhausted"
+		}
+		add("ingest-budget", r.BudgetExhausted == a.ExpectBudgetExhausted, got, want)
+	}
+
+	if m := r.Metrics; m != nil {
+		if t := a.MinSurvivingFraction; t != nil {
+			add("min-surviving-fraction", m.SurvivingFraction >= *t,
+				fmt.Sprintf("%.4f", m.SurvivingFraction), fmt.Sprintf(">= %.4f", *t))
+		}
+		if t := a.MaxTableDrift; t != nil {
+			add("max-table-drift", m.TableDrift <= *t,
+				fmt.Sprintf("%.4f", m.TableDrift), fmt.Sprintf("<= %.4f", *t))
+		}
+	}
+	if b := r.Batch; b != nil {
+		if t := a.MinAvailability; t != nil {
+			add("min-availability", b.Availability >= *t,
+				fmt.Sprintf("%.4f", b.Availability), fmt.Sprintf(">= %.4f", *t))
+		}
+		if t := a.MaxBadLines; t != nil {
+			add("max-bad-lines", b.BadLines <= *t,
+				fmt.Sprintf("%d", b.BadLines), fmt.Sprintf("<= %d", *t))
+		}
+		if t := a.MinCoalesced; t != nil {
+			add("min-coalesced", b.CoalescedEvents >= *t,
+				fmt.Sprintf("%d", b.CoalescedEvents), fmt.Sprintf(">= %d", *t))
+		}
+	}
+	if len(r.Replays) > 0 {
+		if t := a.MaxQuarantined; t != nil {
+			var worst int64
+			for _, rp := range r.Replays {
+				if rp.Quarantined > worst {
+					worst = rp.Quarantined
+				}
+			}
+			add("max-quarantined", worst <= *t,
+				fmt.Sprintf("%d", worst), fmt.Sprintf("<= %d", *t))
+		}
+		if a.StreamEquivalence == nil || *a.StreamEquivalence {
+			diverged := []string{}
+			for _, rp := range r.Replays {
+				if !rp.Equivalent {
+					diverged = append(diverged, fmt.Sprintf("%s@%s", rp.Mode, rp.Mismatch))
+				}
+			}
+			sort.Strings(diverged)
+			got := "byte-identical"
+			if len(diverged) > 0 {
+				got = strings.Join(diverged, ",")
+			}
+			add("stream-equivalence", len(diverged) == 0, got, "byte-identical")
+		}
+	}
+
+	r.Pass = true
+	for _, res := range r.Assertions {
+		if !res.Ok {
+			r.Pass = false
+		}
+	}
+}

@@ -1,0 +1,458 @@
+// Package scenario is the declarative fault-campaign layer: a dependency-free
+// JSON file format describing a fleet, a calibration profile, timed
+// fault-injection events, chaos schedules, log corruption, collector outages,
+// a streaming-replay plan, and assertions — compiled onto internal/faults,
+// internal/cluster, internal/logfuzz, and internal/stream with seeded
+// reproducibility. The same scenario file plus the same seed always produces
+// a byte-identical JSON report, at any pipeline worker count.
+//
+// A campaign runs in up to four phases (run.go):
+//
+//  1. Simulate the fleet and capture the raw syslog byte stream.
+//  2. Damage the record: blank collector-outage windows, then corrupt what
+//     remains (logfuzz).
+//  3. Analyze the damaged log through the batch pipeline and compare against
+//     a clean-run reference (surviving fraction, table drift, availability).
+//  4. Optionally replay the damaged log through the streaming engine under
+//     process-level chaos — kill/restart with checkpoint resume, redelivery,
+//     rotation mid-burst — and assert the stream's tables are byte-identical
+//     to a batch run over the same delivered lines.
+//
+// See docs/scenarios.md for the format reference and the library catalog
+// under scenarios/.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Duration is a JSON-friendly duration: a string in time.ParseDuration
+// syntax, extended with a leading day component ("17d", "1d12h", "0.5d")
+// because campaign horizons are naturally measured in days.
+type Duration time.Duration
+
+// D returns the native duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON parses a duration string, accepting the day extension.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"90m\" or \"17d\": %w", err)
+	}
+	v, err := ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// ParseDuration parses the extended duration syntax: an optional "<n>d" day
+// component (n may be fractional) followed by an optional standard
+// time.ParseDuration tail.
+func ParseDuration(s string) (time.Duration, error) {
+	if i := strings.IndexByte(s, 'd'); i >= 0 && !strings.ContainsAny(s[:i+1], "hmsuµn") {
+		days, err := strconv.ParseFloat(strings.TrimPrefix(s[:i], "+"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: bad day count in duration %q", s)
+		}
+		var tail time.Duration
+		if rest := s[i+1:]; rest != "" {
+			tail, err = time.ParseDuration(rest)
+			if err != nil {
+				return 0, fmt.Errorf("scenario: bad duration %q: %w", s, err)
+			}
+		}
+		return time.Duration(days*24*float64(time.Hour)) + tail, nil
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: bad duration %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// Scenario is the on-disk campaign description. Zero-valued optional fields
+// resolve to profile defaults at compile time; see docs/scenarios.md for the
+// full reference.
+type Scenario struct {
+	// Name identifies the campaign in reports and summaries.
+	Name string `json:"name"`
+	// Description says what the campaign demonstrates.
+	Description string `json:"description,omitempty"`
+	// Seed drives every random choice; cmd/stress -seed overrides it.
+	Seed uint64 `json:"seed"`
+	// Profile selects the calibration base: "a100" (Delta) or "hopper"
+	// (the DeltaAI projection).
+	Profile string `json:"profile"`
+	// Scale is the calibration scale (1.0 = full Delta); default 0.005.
+	Scale float64 `json:"scale,omitempty"`
+	// Horizon truncates the operational period to this length; zero keeps
+	// the profile's full period. The background fault quotas and the
+	// workload compress into the shorter window.
+	Horizon Duration `json:"horizon,omitempty"`
+	// Background is "calibrated" (default: the profile's full fault
+	// processes, faulty-GPU scenario, and health checks) or "none" (a quiet
+	// fleet; only injected events fire).
+	Background string `json:"background,omitempty"`
+	// Workload toggles the job population; nil defaults to true for
+	// calibrated background and false for none.
+	Workload *bool `json:"workload,omitempty"`
+	// Fleet overrides the profile's node layout.
+	Fleet *Fleet `json:"fleet,omitempty"`
+	// Events are the timed fault injections.
+	Events []Event `json:"events,omitempty"`
+	// Cascades are zone-scoped cascading chaos schedules.
+	Cascades []Cascade `json:"cascades,omitempty"`
+	// Skew adds chronic-node-skewed background processes (faults.ProcessSpec).
+	Skew []Skew `json:"skew,omitempty"`
+	// Outages blank log collection for node sets over time windows.
+	Outages []Outage `json:"outages,omitempty"`
+	// Corruption damages the surviving log bytes (internal/logfuzz).
+	Corruption *Corruption `json:"corruption,omitempty"`
+	// Ingest tunes the batch pipeline's lenient mode and error budgets.
+	Ingest *Ingest `json:"ingest,omitempty"`
+	// Replay, when present, streams the damaged log through the streaming
+	// engine under process-level chaos.
+	Replay *Replay `json:"replay,omitempty"`
+	// Assert is the campaign's pass/fail contract.
+	Assert Assertions `json:"assert"`
+}
+
+// Fleet overrides the calibration profile's node layout.
+type Fleet struct {
+	// Nodes is the total node count; templates split it by weight.
+	Nodes int `json:"nodes"`
+	// Templates are node shapes with node-count weights; nil means all
+	// nodes use the 4-way template. Only 4- and 8-way boards exist.
+	Templates []Template `json:"templates,omitempty"`
+	// ChronicNodes sizes the error-prone node set; zero keeps the profile's.
+	ChronicNodes int `json:"chronicNodes,omitempty"`
+}
+
+// Template is one node shape with its node-count weight.
+type Template struct {
+	// GPUs is the board size: 4 or 8.
+	GPUs int `json:"gpus"`
+	// Weight is the template's share of Fleet.Nodes (largest remainder).
+	Weight int `json:"weight"`
+}
+
+// Event is one timed fault injection: count error instants of one kind over
+// a window on one device.
+type Event struct {
+	// At is the offset of the burst start from the operational period start.
+	At Duration `json:"at"`
+	// Kind names the fault process: mmu, gsp, pmu, nvlink, bus-off,
+	// uncorrectable, or sbe.
+	Kind string `json:"kind"`
+	// Count is the number of error instants.
+	Count int `json:"count"`
+	// Over is the burst window; zero is an instantaneous volley.
+	Over Duration `json:"over,omitempty"`
+	// Node pins the target node index; nil draws one from the seed.
+	Node *int `json:"node,omitempty"`
+	// GPU pins the device index; nil draws one (NVLink always uses the
+	// fabric's link choice).
+	GPU *int `json:"gpu,omitempty"`
+	// Zone, with Zones, confines the node draw to one contiguous zone of
+	// the fleet (0-based).
+	Zone *int `json:"zone,omitempty"`
+	// Zones is the zone count Zone indexes into.
+	Zones int `json:"zones,omitempty"`
+}
+
+// Cascade is a cascading, zone-scoped chaos schedule: the fleet splits into
+// Zones contiguous zones and zone i receives one Event-shaped burst starting
+// Start + i*Stagger.
+type Cascade struct {
+	// Start is the first zone's burst start, offset from the operational
+	// period start.
+	Start Duration `json:"start"`
+	// Kind is the fault process injected per zone.
+	Kind string `json:"kind"`
+	// Zones is how many contiguous zones the fleet splits into.
+	Zones int `json:"zones"`
+	// Stagger is the delay between consecutive zones' bursts.
+	Stagger Duration `json:"stagger"`
+	// Count is the error instants per zone.
+	Count int `json:"count"`
+	// Over is each zone burst's window.
+	Over Duration `json:"over,omitempty"`
+}
+
+// Skew adds a chronic-node-skewed background fault process — a
+// faults.ProcessSpec layered onto the compiled period.
+type Skew struct {
+	// Kind names the fault process.
+	Kind string `json:"kind"`
+	// Period is "op" (default) or "pre".
+	Period string `json:"period,omitempty"`
+	// Episodes is the quota over the period.
+	Episodes int `json:"episodes"`
+	// MeanSize is the mean errors per episode (geometric, min 1).
+	MeanSize float64 `json:"meanSize"`
+	// MeanGap is the mean in-episode error spacing.
+	MeanGap Duration `json:"meanGap"`
+	// ChronicFrac is the fraction of episodes landing on chronic nodes.
+	ChronicFrac float64 `json:"chronicFrac"`
+}
+
+// Outage blanks log collection: lines from the affected nodes inside the
+// window vanish from the record, as when a collector daemon is down.
+type Outage struct {
+	// Start is the outage start, offset from the operational period start.
+	Start Duration `json:"start"`
+	// Duration is each window's length.
+	Duration Duration `json:"duration"`
+	// Nodes lists affected node names; empty with Groups == 0 means the
+	// whole fleet.
+	Nodes []string `json:"nodes,omitempty"`
+	// Groups, when positive, makes the outage rolling: the fleet splits
+	// into Groups contiguous groups and group i is blanked during
+	// [Start + i*Stride, Start + i*Stride + Duration).
+	Groups int `json:"groups,omitempty"`
+	// Stride is the rolling stagger between groups; zero means windows are
+	// back to back (Stride = Duration).
+	Stride Duration `json:"stride,omitempty"`
+}
+
+// Corruption configures the logfuzz injector over the post-outage log.
+type Corruption struct {
+	// Rate is the per-line damage probability.
+	Rate float64 `json:"rate"`
+	// Ops enables a subset of the repertoire by name (truncate, split,
+	// merge, bitflip, dup-chunk, reorder, garbage, oversize); empty means
+	// all.
+	Ops []string `json:"ops,omitempty"`
+	// OversizeBytes sizes injected oversized lines; default 64 KiB.
+	OversizeBytes int `json:"oversizeBytes,omitempty"`
+	// Seed overrides the corruption stream seed; zero derives it from the
+	// scenario seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Ingest tunes the batch pipeline's corruption tolerance.
+type Ingest struct {
+	// Lenient forces lenient Stage I on or off; nil defaults to on exactly
+	// when corruption is configured.
+	Lenient *bool `json:"lenient,omitempty"`
+	// MaxBadLines is the lenient absolute error budget (0 = unlimited).
+	MaxBadLines int `json:"maxBadLines,omitempty"`
+	// MaxBadFrac is the lenient corrupt-fraction budget (0 = unlimited).
+	MaxBadFrac float64 `json:"maxBadFrac,omitempty"`
+}
+
+// Replay streams the damaged log through the streaming engine with
+// process-level chaos and asserts batch/stream byte-equivalence.
+type Replay struct {
+	// Chunk is how many lines are ingested between watermark advances;
+	// default 256.
+	Chunk int `json:"chunk,omitempty"`
+	// Horizon is the watermark horizon; default stream.DefaultHorizon.
+	Horizon Duration `json:"horizon,omitempty"`
+	// KillEvery kills and restarts the engine every N delivered lines,
+	// resuming from the last checkpoint (taken every KillEvery/2 lines)
+	// with redelivery; zero disables kill chaos.
+	KillEvery int `json:"killEvery,omitempty"`
+	// KillSweep runs the replay once per cadence in the list (a
+	// checkpoint-interval sweep); it supersedes KillEvery.
+	KillSweep []int `json:"killSweep,omitempty"`
+	// Redeliver is how many pre-checkpoint lines the source re-delivers
+	// after each restart (absorbed as duplicates); default 32.
+	Redeliver int `json:"redeliver,omitempty"`
+	// RotateEvery rotates the replayed log file every N lines and follows
+	// it with the rotation-aware tailer; zero replays in process. Requires
+	// a work directory (cmd/stress -dir, or the runner's default temp dir).
+	RotateEvery int `json:"rotateEvery,omitempty"`
+}
+
+// Assertions is the declarative pass/fail contract. Nil thresholds are not
+// evaluated. Two assertions are implicit: a configured ingest budget must
+// trip exactly when ExpectBudgetExhausted says so, and a replay must produce
+// byte-identical tables unless StreamEquivalence is explicitly false.
+type Assertions struct {
+	// MinSurvivingFraction floors coalesced-record survival versus the
+	// clean run (damage-free simulation of the same seed).
+	MinSurvivingFraction *float64 `json:"minSurvivingFraction,omitempty"`
+	// MaxTableDrift caps Table I drift versus the clean run: the L1
+	// distance of per-group per-period counts over the clean total.
+	MaxTableDrift *float64 `json:"maxTableDrift,omitempty"`
+	// MinAvailability floors the measured fleet availability.
+	MinAvailability *float64 `json:"minAvailability,omitempty"`
+	// MaxQuarantined caps late events quarantined during replay.
+	MaxQuarantined *int64 `json:"maxQuarantined,omitempty"`
+	// MaxBadLines caps corrupt lines the lenient batch ingest may see.
+	MaxBadLines *int `json:"maxBadLines,omitempty"`
+	// MinCoalesced floors the damaged run's coalesced record count (a
+	// vacuousness guard: the campaign must actually produce data).
+	MinCoalesced *int `json:"minCoalesced,omitempty"`
+	// ExpectBudgetExhausted asserts the lenient ingest budget DOES trip —
+	// the budget-exhaustion campaign's pass signal. Batch statistics and
+	// replay are skipped when the budget trips as expected.
+	ExpectBudgetExhausted bool `json:"expectBudgetExhausted,omitempty"`
+	// StreamEquivalence, when explicitly false, downgrades the implicit
+	// replay byte-equivalence assertion to a recorded observation.
+	StreamEquivalence *bool `json:"streamEquivalence,omitempty"`
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a scenario document. Unknown fields are
+// rejected so a typo'd assertion cannot silently pass.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Validate checks the scenario's static shape (everything that does not need
+// the compiled fleet).
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	switch s.Profile {
+	case "a100", "hopper":
+	default:
+		return fmt.Errorf("scenario %s: profile %q (want a100 or hopper)", s.Name, s.Profile)
+	}
+	if s.Scale < 0 || s.Scale > 1 {
+		return fmt.Errorf("scenario %s: scale %v out of (0,1]", s.Name, s.Scale)
+	}
+	if s.Horizon < 0 {
+		return fmt.Errorf("scenario %s: negative horizon", s.Name)
+	}
+	switch s.Background {
+	case "", "calibrated", "none":
+	default:
+		return fmt.Errorf("scenario %s: background %q (want calibrated or none)", s.Name, s.Background)
+	}
+	if f := s.Fleet; f != nil {
+		if f.Nodes <= 0 {
+			return fmt.Errorf("scenario %s: fleet needs a positive node count", s.Name)
+		}
+		weight := 0
+		for _, t := range f.Templates {
+			if t.GPUs != 4 && t.GPUs != 8 {
+				return fmt.Errorf("scenario %s: fleet template with %d GPUs (want 4 or 8)", s.Name, t.GPUs)
+			}
+			if t.Weight < 0 {
+				return fmt.Errorf("scenario %s: negative template weight", s.Name)
+			}
+			weight += t.Weight
+		}
+		if len(f.Templates) > 0 && weight == 0 {
+			return fmt.Errorf("scenario %s: fleet template weights sum to zero", s.Name)
+		}
+		if f.ChronicNodes < 0 || f.ChronicNodes > f.Nodes {
+			return fmt.Errorf("scenario %s: chronic nodes out of range", s.Name)
+		}
+	}
+	for i, ev := range s.Events {
+		if _, err := parseKind(ev.Kind); err != nil {
+			return fmt.Errorf("scenario %s: events[%d]: %w", s.Name, i, err)
+		}
+		if ev.Count <= 0 {
+			return fmt.Errorf("scenario %s: events[%d]: count must be positive", s.Name, i)
+		}
+		if ev.At < 0 || ev.Over < 0 {
+			return fmt.Errorf("scenario %s: events[%d]: negative time field", s.Name, i)
+		}
+		if (ev.Zone == nil) != (ev.Zones == 0) {
+			return fmt.Errorf("scenario %s: events[%d]: zone and zones go together", s.Name, i)
+		}
+		if ev.Zone != nil && (*ev.Zone < 0 || *ev.Zone >= ev.Zones) {
+			return fmt.Errorf("scenario %s: events[%d]: zone %d out of [0,%d)", s.Name, i, *ev.Zone, ev.Zones)
+		}
+		if ev.Zone != nil && ev.Node != nil {
+			return fmt.Errorf("scenario %s: events[%d]: node and zone are exclusive", s.Name, i)
+		}
+	}
+	for i, c := range s.Cascades {
+		if _, err := parseKind(c.Kind); err != nil {
+			return fmt.Errorf("scenario %s: cascades[%d]: %w", s.Name, i, err)
+		}
+		if c.Zones <= 0 || c.Count <= 0 {
+			return fmt.Errorf("scenario %s: cascades[%d]: zones and count must be positive", s.Name, i)
+		}
+		if c.Start < 0 || c.Stagger < 0 || c.Over < 0 {
+			return fmt.Errorf("scenario %s: cascades[%d]: negative time field", s.Name, i)
+		}
+	}
+	for i, sk := range s.Skew {
+		if _, err := parseKind(sk.Kind); err != nil {
+			return fmt.Errorf("scenario %s: skew[%d]: %w", s.Name, i, err)
+		}
+		switch sk.Period {
+		case "", "op", "pre":
+		default:
+			return fmt.Errorf("scenario %s: skew[%d]: period %q (want op or pre)", s.Name, i, sk.Period)
+		}
+	}
+	for i, o := range s.Outages {
+		if o.Start < 0 || o.Duration <= 0 || o.Stride < 0 {
+			return fmt.Errorf("scenario %s: outages[%d]: bad window", s.Name, i)
+		}
+		if o.Groups < 0 {
+			return fmt.Errorf("scenario %s: outages[%d]: negative group count", s.Name, i)
+		}
+		if o.Groups > 0 && len(o.Nodes) > 0 {
+			return fmt.Errorf("scenario %s: outages[%d]: nodes and groups are exclusive", s.Name, i)
+		}
+	}
+	if c := s.Corruption; c != nil {
+		if c.Rate <= 0 || c.Rate > 1 {
+			return fmt.Errorf("scenario %s: corruption rate %v out of (0,1]", s.Name, c.Rate)
+		}
+		if _, err := parseOps(c.Ops); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if r := s.Replay; r != nil {
+		if r.Chunk < 0 || r.KillEvery < 0 || r.Redeliver < 0 || r.RotateEvery < 0 || r.Horizon < 0 {
+			return fmt.Errorf("scenario %s: replay: negative field", s.Name)
+		}
+		for _, k := range r.KillSweep {
+			if k <= 0 {
+				return fmt.Errorf("scenario %s: replay: killSweep cadences must be positive", s.Name)
+			}
+		}
+		if r.RotateEvery > 0 && (r.KillEvery > 0 || len(r.KillSweep) > 0) {
+			return fmt.Errorf("scenario %s: replay: rotation and kill chaos are separate modes", s.Name)
+		}
+	}
+	if a := s.Assert; a.ExpectBudgetExhausted {
+		lenientOff := s.Ingest != nil && s.Ingest.Lenient != nil && !*s.Ingest.Lenient
+		noBudget := s.Ingest == nil || (s.Ingest.MaxBadLines == 0 && s.Ingest.MaxBadFrac == 0)
+		if lenientOff || noBudget {
+			return fmt.Errorf("scenario %s: expectBudgetExhausted needs a lenient ingest budget", s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"90m", 90 * time.Minute},
+		{"17d", 17 * 24 * time.Hour},
+		{"1d12h", 36 * time.Hour},
+		{"0.5d", 12 * time.Hour},
+		{"30s", 30 * time.Second},
+		{"41d12h", 41*24*time.Hour + 12*time.Hour},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "d", "12", "5x", "1dd", "--3d"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) accepted", bad)
+		}
+	}
+}
+
+func minimal() string {
+	return `{"name": "t", "seed": 1, "profile": "a100", "assert": {}}`
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":     `{"name": "t", "seed": 1, "profile": "a100", "asserts": {}}`,
+		"missing name":      `{"seed": 1, "profile": "a100"}`,
+		"bad profile":       `{"name": "t", "profile": "v100"}`,
+		"bad background":    `{"name": "t", "profile": "a100", "background": "noisy"}`,
+		"bad kind":          `{"name": "t", "profile": "a100", "events": [{"at": "1d", "kind": "xyz", "count": 1}]}`,
+		"zero count":        `{"name": "t", "profile": "a100", "events": [{"at": "1d", "kind": "mmu", "count": 0}]}`,
+		"zone sans zones":   `{"name": "t", "profile": "a100", "events": [{"at": "1d", "kind": "mmu", "count": 1, "zone": 1}]}`,
+		"node plus zone":    `{"name": "t", "profile": "a100", "events": [{"at": "1d", "kind": "mmu", "count": 1, "node": 1, "zone": 0, "zones": 2}]}`,
+		"zone out of range": `{"name": "t", "profile": "a100", "events": [{"at": "1d", "kind": "mmu", "count": 1, "zone": 2, "zones": 2}]}`,
+		"bad corruption op": `{"name": "t", "profile": "a100", "corruption": {"rate": 0.1, "ops": ["melt"]}}`,
+		"corruption rate":   `{"name": "t", "profile": "a100", "corruption": {"rate": 1.5}}`,
+		"zero-node fleet":   `{"name": "t", "profile": "a100", "fleet": {"nodes": 0}}`,
+		"bad template":      `{"name": "t", "profile": "a100", "fleet": {"nodes": 4, "templates": [{"gpus": 6, "weight": 1}]}}`,
+		"outage no window":  `{"name": "t", "profile": "a100", "outages": [{"start": "1d", "duration": "0s"}]}`,
+		"nodes plus groups": `{"name": "t", "profile": "a100", "outages": [{"start": "1d", "duration": "1d", "nodes": ["gpub001"], "groups": 2}]}`,
+		"rotate plus kill":  `{"name": "t", "profile": "a100", "replay": {"rotateEvery": 10, "killEvery": 10}}`,
+		"budget sans limit": `{"name": "t", "profile": "a100", "assert": {"expectBudgetExhausted": true}}`,
+	}
+	for label, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	if _, err := Parse([]byte(minimal())); err != nil {
+		t.Fatalf("minimal document rejected: %v", err)
+	}
+}
+
+func TestFleetCounts(t *testing.T) {
+	cases := []struct {
+		fleet  Fleet
+		n4, n8 int
+	}{
+		{Fleet{Nodes: 10}, 10, 0},
+		{Fleet{Nodes: 10, Templates: []Template{{GPUs: 4, Weight: 1}, {GPUs: 8, Weight: 1}}}, 5, 5},
+		{Fleet{Nodes: 9, Templates: []Template{{GPUs: 4, Weight: 2}, {GPUs: 8, Weight: 1}}}, 6, 3},
+		// Largest remainder: 7*3/4 = 5.25 four-way, 1.75 eight-way -> the
+		// eight-way template wins the leftover node.
+		{Fleet{Nodes: 7, Templates: []Template{{GPUs: 4, Weight: 3}, {GPUs: 8, Weight: 1}}}, 5, 2},
+		{Fleet{Nodes: 3, Templates: []Template{{GPUs: 8, Weight: 1}}}, 0, 3},
+	}
+	for i, c := range cases {
+		n4, n8 := fleetCounts(&c.fleet)
+		if n4 != c.n4 || n8 != c.n8 {
+			t.Errorf("case %d: got (%d, %d), want (%d, %d)", i, n4, n8, c.n4, c.n8)
+		}
+		if n4+n8 != c.fleet.Nodes {
+			t.Errorf("case %d: apportionment lost nodes: %d + %d != %d", i, n4, n8, c.fleet.Nodes)
+		}
+	}
+}
+
+func TestCompileResolvesPlacements(t *testing.T) {
+	doc := `{
+		"name": "placements", "seed": 5, "profile": "a100", "background": "none",
+		"horizon": "20d",
+		"events": [
+			{"at": "1d", "kind": "gsp", "count": 3, "node": 7, "gpu": 2},
+			{"at": "2d", "kind": "mmu", "count": 2, "zone": 3, "zones": 4}
+		],
+		"cascades": [
+			{"start": "5d", "kind": "mmu", "zones": 2, "stagger": "1d", "count": 4, "over": "1h"}
+		],
+		"assert": {}
+	}`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(sc, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Planned) != 4 || len(c.Cluster.Inject) != 4 {
+		t.Fatalf("planned %d, injected %d, want 4 each", len(c.Planned), len(c.Cluster.Inject))
+	}
+	if p := c.Planned[0]; p.NodeIdx != 7 || p.GPU != 2 || p.Node != "gpub008" {
+		t.Fatalf("pinned event resolved to %+v", p)
+	}
+	// Zone 3 of 4 over 106 nodes is indexes [79, 106).
+	if p := c.Planned[1]; p.NodeIdx < 79 || p.NodeIdx >= 106 {
+		t.Fatalf("zone event landed on node %d, want [79, 106)", p.NodeIdx)
+	}
+	// Cascade zones are contiguous halves, staggered a day apart.
+	z0, z1 := c.Planned[2], c.Planned[3]
+	if z0.NodeIdx >= 53 || z1.NodeIdx < 53 {
+		t.Fatalf("cascade zones landed on nodes %d, %d", z0.NodeIdx, z1.NodeIdx)
+	}
+	if got := z1.Start.Sub(z0.Start); got != 24*time.Hour {
+		t.Fatalf("cascade stagger = %v", got)
+	}
+	// Same (scenario, seed) always compiles identically.
+	c2, err := Compile(sc, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Planned {
+		if c.Planned[i] != c2.Planned[i] {
+			t.Fatalf("compile not deterministic at event %d", i)
+		}
+	}
+}
+
+func TestCompileRejectsOutOfWindowEvent(t *testing.T) {
+	doc := `{
+		"name": "late", "seed": 1, "profile": "a100", "background": "none",
+		"horizon": "10d",
+		"events": [{"at": "9d", "kind": "mmu", "count": 5, "over": "2d"}],
+		"assert": {}
+	}`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(sc, sc.Seed); err == nil {
+		t.Fatal("event overrunning the horizon accepted")
+	}
+}
+
+func TestApplyOutages(t *testing.T) {
+	mk := func(ts, node string) string {
+		return ts + " " + node + " kernel: NVRM: Xid (PCI:0000:07:00): 31, pid=1, name=x, detail"
+	}
+	lines := []string{
+		mk("2022-10-05T00:00:00.000000Z", "gpub001"),
+		mk("2022-10-05T01:00:00.000000Z", "gpub002"),
+		mk("2022-10-06T00:00:00.000000Z", "gpub001"),
+	}
+	raw := []byte(strings.Join(lines, "\n") + "\n")
+	start := time.Date(2022, 10, 5, 0, 0, 0, 0, time.UTC)
+	out, dropped := applyOutages(raw, []OutageWindow{{
+		Start: start, End: start.Add(12 * time.Hour),
+		Nodes: map[string]bool{"gpub001": true}, NodeCount: 1,
+	}})
+	if dropped != 1 {
+		t.Fatalf("dropped %d lines, want 1 (gpub001 inside the window)", dropped)
+	}
+	if !bytes.Contains(out, []byte("gpub002")) || !bytes.Contains(out, []byte("2022-10-06")) {
+		t.Fatal("outage dropped a surviving line")
+	}
+	// A whole-fleet window (nil node set) takes both in-window lines.
+	_, dropped = applyOutages(raw, []OutageWindow{{Start: start, End: start.Add(12 * time.Hour)}})
+	if dropped != 2 {
+		t.Fatalf("whole-fleet outage dropped %d, want 2", dropped)
+	}
+}
+
+// libraryPath locates a committed scenarios/ file from the package dir.
+func libraryPath(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "scenarios", name)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("library scenario missing: %v", err)
+	}
+	return path
+}
+
+func runLibrary(t *testing.T, name string, workers int) ([]byte, *Report) {
+	t.Helper()
+	sc, err := Load(libraryPath(t, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(sc, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(c, Options{Workers: workers, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, rep
+}
+
+// TestReportDeterministicAcrossWorkers is the harness's core reproducibility
+// property: the same scenario file and seed produce a byte-identical JSON
+// report at any pipeline worker count — including a full kill/restart
+// chaos replay.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	base, rep := runLibrary(t, "gsp-storm.json", 1)
+	if !rep.Pass {
+		t.Fatal("gsp-storm must pass")
+	}
+	for _, workers := range []int{4, 16} {
+		got, _ := runLibrary(t, "gsp-storm.json", workers)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("report differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestGoldenReport pins one library campaign's full JSON report. A diff here
+// means scenario semantics changed: regenerate with
+//
+//	go run ./cmd/stress -scenario scenarios/gsp-storm.json -quiet \
+//	    -json internal/scenario/testdata/gsp-storm.report.json
+//
+// and review the diff like any contract change.
+func TestGoldenReport(t *testing.T) {
+	got, _ := runLibrary(t, "gsp-storm.json", 1)
+	want, err := os.ReadFile(filepath.Join("testdata", "gsp-storm.report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gsp-storm report diverged from golden (len %d vs %d); see regeneration note in this test", len(got), len(want))
+	}
+}
+
+// TestLibraryScenariosPass keeps every committed library campaign green:
+// each must compile, run, and satisfy its own assertions.
+func TestLibraryScenariosPass(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		ran++
+		t.Run(e.Name(), func(t *testing.T) {
+			_, rep := runLibrary(t, e.Name(), 0)
+			if !rep.Pass {
+				data, _ := rep.Marshal()
+				t.Fatalf("library scenario failed its assertions:\n%s", data)
+			}
+		})
+	}
+	if ran < 6 {
+		t.Fatalf("expected at least 6 library scenarios, found %d", ran)
+	}
+}
+
+// TestBudgetExhaustionPath exercises the refusal path end to end: the
+// budget campaign must stop at Stage I, skip batch statistics and replay,
+// and still pass via its ingest-budget assertion.
+func TestBudgetExhaustionPath(t *testing.T) {
+	_, rep := runLibrary(t, "corrupt-ingest-budget.json", 1)
+	if !rep.BudgetExhausted {
+		t.Fatal("budget did not trip")
+	}
+	if rep.Batch != nil || rep.Metrics != nil || len(rep.Replays) != 0 {
+		t.Fatal("analysis phases should be skipped after a budget refusal")
+	}
+	if !rep.Pass {
+		t.Fatal("expected budget exhaustion should pass")
+	}
+}
+
+// TestChaosActuallyFires guards the chaos loop against silently degrading
+// into a plain replay: the kill cadence must produce kills, checkpoints,
+// and absorbed redelivered duplicates.
+func TestChaosActuallyFires(t *testing.T) {
+	_, rep := runLibrary(t, "gsp-storm.json", 1)
+	if len(rep.Replays) != 1 {
+		t.Fatalf("replays = %d, want 1", len(rep.Replays))
+	}
+	r := rep.Replays[0]
+	if r.Kills == 0 || r.Checkpoints == 0 || r.Dups == 0 {
+		t.Fatalf("chaos did not fire: %+v", r)
+	}
+	if !r.Equivalent {
+		t.Fatalf("chaos replay diverged at %s", r.Mismatch)
+	}
+}
+
+// TestRotationReplay covers the file-rotation chaos mode through the
+// library's Hopper flap campaign.
+func TestRotationReplay(t *testing.T) {
+	_, rep := runLibrary(t, "nvlink-flap.json", 1)
+	if len(rep.Replays) != 1 || rep.Replays[0].Mode != "rotate" {
+		t.Fatalf("replays = %+v, want one rotate outcome", rep.Replays)
+	}
+	if rep.Replays[0].Rotations == 0 {
+		t.Fatal("rotation never happened")
+	}
+	if !rep.Replays[0].Equivalent {
+		t.Fatalf("rotation replay diverged at %s", rep.Replays[0].Mismatch)
+	}
+}
+
+// TestSeedOverrideChangesOutcome checks the seed actually steers the
+// campaign: different seeds must place the unpinned events differently.
+func TestSeedOverrideChangesOutcome(t *testing.T) {
+	doc := `{
+		"name": "seeded", "seed": 1, "profile": "a100", "background": "none",
+		"horizon": "10d",
+		"events": [{"at": "1d", "kind": "mmu", "count": 2}],
+		"assert": {}
+	}`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Compile(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Planned[0].NodeIdx == b.Planned[0].NodeIdx {
+		t.Skip("seeds happened to collide on one node; statistically fine")
+	}
+}
