@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples service-check stress-check fmt vet lint lint-baseline clean
+.PHONY: all build test race fuzz bench bench-quick bench-json bench-gate report ablate examples service-check stress-check ingest-check fmt vet lint lint-baseline clean
 
 all: build test
 
@@ -31,7 +31,7 @@ bench-quick:
 	GPURESIL_BENCH_SCALE=0.05 $(GO) test -bench=. -benchmem -timeout 30m ./...
 
 # Hot-path benchmark set for the perf gate (sub-benchmarks included).
-BENCH_SET = ^(BenchmarkExtractParallel|BenchmarkPipelineParallel|BenchmarkStageIExtract|BenchmarkJobDBLoad|BenchmarkEndToEnd)$$
+BENCH_SET = ^(BenchmarkExtractParallel|BenchmarkShardedExtract|BenchmarkPipelineParallel|BenchmarkStageIExtract|BenchmarkJobDBLoad|BenchmarkEndToEnd)$$
 
 # Snapshot the hot-path benchmarks (5% dataset, 4 repeats, per-metric
 # medians) into BENCH_baseline.json. Commit the refreshed file whenever a
@@ -87,6 +87,32 @@ stress-check:
 	bin/stress -scenario scenarios/gsp-storm.json -quiet -json stress-b2.json
 	cmp stress-b1.json stress-b2.json
 	rm -f stress-a1.json stress-a2.json stress-b1.json stress-b2.json
+
+# Sharded-ingestion gate: the differential battery in internal/ingest
+# (split-log vs single-stream equivalence, merge property trials, evshard
+# round-trip, cache invalidation) plus an end-to-end determinism check —
+# deltasim writes a dataset, its syslog is split in two, and xidstat runs
+# single-file, sharded-cold, and sharded-warm; all three reports must be
+# byte-identical and the warm run must hit the cache without re-running
+# Stage I. Mirrors the CI ingest job; docs/ingest.md has the contracts.
+ingest-check:
+	$(GO) test -count=1 ./internal/ingest/ ./internal/cliflags/
+	$(GO) build -o bin/xidstat ./cmd/xidstat
+	$(GO) build -o bin/deltasim ./cmd/deltasim
+	rm -rf ingest-tmp && mkdir -p ingest-tmp/cache
+	bin/deltasim -out ingest-tmp -seed 7 -scale 0.02 -nojobs
+	half=$$(($$(wc -l < ingest-tmp/syslog.txt) / 2)); \
+	head -n $$half ingest-tmp/syslog.txt > ingest-tmp/part_000.log; \
+	tail -n +$$(($$half + 1)) ingest-tmp/syslog.txt > ingest-tmp/part_001.log
+	bin/xidstat -logs ingest-tmp/syslog.txt > ingest-tmp/single.txt
+	bin/xidstat -logs 'ingest-tmp/part_*.log' -cache-dir ingest-tmp/cache > ingest-tmp/cold.txt
+	bin/xidstat -logs 'ingest-tmp/part_*.log' -cache-dir ingest-tmp/cache > ingest-tmp/warm.txt
+	cmp ingest-tmp/single.txt ingest-tmp/cold.txt
+	cmp ingest-tmp/cold.txt ingest-tmp/warm.txt
+	bin/xidstat -logs 'ingest-tmp/part_*.log' -cache-dir ingest-tmp/cache -metrics > ingest-tmp/warm-metrics.txt
+	grep -q 'cache.hit' ingest-tmp/warm-metrics.txt
+	! grep -q 'stage1.extract' ingest-tmp/warm-metrics.txt
+	rm -rf ingest-tmp
 
 fmt:
 	gofmt -w ./internal ./cmd ./examples ./bench_test.go ./doc.go

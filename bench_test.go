@@ -17,9 +17,11 @@
 package gpuresilience_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -31,6 +33,7 @@ import (
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/correlation"
 	"gpuresilience/internal/impact"
+	"gpuresilience/internal/ingest"
 	"gpuresilience/internal/report"
 	"gpuresilience/internal/slurmsim"
 	"gpuresilience/internal/survival"
@@ -495,6 +498,59 @@ func BenchmarkExtractParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkShardedExtract measures the multi-file front end over the raw
+// dataset split into 8 shard files. /cold parses every shard through the
+// pooled Stage I scanners and merges the streams; /warm replays the same
+// plan against a populated .evshard cache, so its cost is dominated by
+// columnar decode plus the k-way merge — the ratio to /cold is the payoff
+// of the cache on repeat analyses.
+func BenchmarkShardedExtract(b *testing.B) {
+	logs, _ := rawDataset(b)
+	dir := b.TempDir()
+	lines := bytes.SplitAfter(logs, []byte("\n"))
+	const shards = 8
+	per := (len(lines) + shards - 1) / shards
+	for i := 0; i < shards; i++ {
+		lo, hi := i*per, (i+1)*per
+		if lo > len(lines) {
+			lo = len(lines)
+		}
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		name := filepath.Join(dir, fmt.Sprintf("shard_%03d.log", i))
+		if err := os.WriteFile(name, bytes.Join(lines[lo:hi], nil), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plan, err := ingest.PlanFiles([]string{dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cache *ingest.Cache) {
+		b.SetBytes(int64(len(logs)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := ingest.Extract(plan, ingest.Options{Workers: 8, Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Events) == 0 {
+				b.Fatal("no events")
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, nil) })
+	b.Run("warm", func(b *testing.B) {
+		cache := ingest.NewCache(b.TempDir())
+		if _, err := ingest.Extract(plan, ingest.Options{Workers: 8, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, cache)
+	})
 }
 
 // BenchmarkPipelineParallel measures the whole analysis path from raw bytes

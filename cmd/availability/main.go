@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	availability -repairs FILE [-logs FILE] [-workers N]
+//	availability -repairs FILE [-logs PATH ...] [-workers N]
+//	             [-cache-dir DIR] [-no-cache]
 //	             [-lenient] [-max-bad-lines N] [-max-bad-frac F]
 //	             [-metrics] [-metrics-json FILE] [-pprof ADDR]
 //	availability -data DIR [same flags]
@@ -39,11 +40,13 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("availability", flag.ContinueOnError)
+	var logs cliflags.PathList
+	cliflags.Logs(fs, &logs)
 	var (
 		repairsPath = fs.String("repairs", "", "node repair log")
-		logsPath    = fs.String("logs", "", "raw system log for the MTTF estimate")
 		dataDir     = fs.String("data", "", "dataset directory (verifies the manifest, uses its files)")
 		workers     = cliflags.Workers(fs)
+		ingFl       = cliflags.Ingest(fs)
 		lenient     = cliflags.Lenient(fs)
 		obsFl       = cliflags.Obs(fs)
 	)
@@ -70,7 +73,7 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			*logsPath = lp
+			logs = append(logs, lp)
 		}
 	}
 	if *repairsPath == "" {
@@ -97,12 +100,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	errorCount := 0
-	if *logsPath != "" {
-		lf, err := os.Open(*logsPath)
-		if err != nil {
-			return err
-		}
-		defer lf.Close()
+	if len(logs) > 0 {
 		cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
 		cfg.Workers = *workers
 		lenient.Apply(&cfg)
@@ -110,19 +108,11 @@ func run(args []string, stdout io.Writer) error {
 		if man != nil {
 			man.Pipeline = cfg
 		}
-		var logSrc io.Reader = lf
-		var logHash *obs.HashingReader
-		if man != nil {
-			logHash = obs.NewHashingReader(lf)
-			logSrc = logHash
-		}
-		res, err := core.AnalyzeLogs(logSrc, nil, nil, workload.CPURecord{}, cfg)
+		res, err := core.AnalyzeLogFiles(logs, nil, nil, workload.CPURecord{}, cfg, ingFl.Config())
 		if err != nil {
 			return err
 		}
-		if logHash != nil {
-			man.AddFile(filepath.Base(*logsPath), logHash.Digest())
-		}
+		cliflags.AddShardFiles(man, res.Shards)
 		errorCount = res.PreSummary.TotalExclOutliers + res.OpSummary.TotalExclOutliers
 	}
 

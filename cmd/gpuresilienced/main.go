@@ -30,7 +30,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +38,7 @@ import (
 	"gpuresilience/internal/cluster"
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/dataset"
+	"gpuresilience/internal/ingest"
 	"gpuresilience/internal/obs"
 	"gpuresilience/internal/parallel"
 	"gpuresilience/internal/slurmsim"
@@ -55,22 +55,10 @@ func main() {
 	}
 }
 
-// pathList is a repeatable -logs flag: each occurrence adds one file to tail.
-type pathList []string
-
-// String renders the accumulated paths for -help output.
-func (p *pathList) String() string { return strings.Join(*p, ",") }
-
-// Set appends one path per flag occurrence.
-func (p *pathList) Set(v string) error {
-	*p = append(*p, v)
-	return nil
-}
-
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gpuresilienced", flag.ContinueOnError)
-	var logs pathList
-	fs.Var(&logs, "logs", "system log file to tail (repeatable)")
+	var logs cliflags.PathList
+	cliflags.Logs(fs, &logs)
 	var (
 		jobsPath    = fs.String("jobs", "", "sacct-style job database for the Table II/III join")
 		repairsPath = fs.String("repairs", "", "node repair log for the availability analysis")
@@ -119,6 +107,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(logs) == 0 {
 		return fmt.Errorf("-logs or -data is required")
 	}
+	// Globs and directories expand once at startup; literal paths survive
+	// unexpanded so a not-yet-created file can still be tailed.
+	expanded, err := ingest.Expand(logs)
+	if err != nil {
+		return err
+	}
+	logs = expanded
 	_, stopPprof, err := obsFl.StartPprof()
 	if err != nil {
 		return err

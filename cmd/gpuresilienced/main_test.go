@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -187,5 +188,15 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-data", t.TempDir()}, &out); err == nil {
 		t.Fatal("dataset without a manifest accepted")
+	}
+}
+
+// TestRunExpandsGlobs: a -logs glob that matches nothing fails at startup
+// (literal paths are kept for tailing even before they exist).
+func TestRunExpandsGlobs(t *testing.T) {
+	dir := t.TempDir()
+	err := run(context.Background(), []string{"-logs", filepath.Join(dir, "*.log")}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "matched no files") {
+		t.Fatalf("unmatched glob: err = %v", err)
 	}
 }

@@ -1,10 +1,13 @@
-// Command jobimpact runs the job-impact analysis (Stage III, §V): it joins a
-// raw system log with the Slurm job database and prints Table II (per-XID
-// job failure probabilities) and Table III (workload statistics).
+// Command jobimpact runs the job-impact analysis (Stage III, §V): it joins
+// raw system logs with the Slurm job database and prints Table II (per-XID
+// job failure probabilities) and Table III (workload statistics). -logs is
+// repeatable and accepts globs and directories; -cache-dir reuses parsed
+// shards across runs (see docs/ingest.md).
 //
 // Usage:
 //
-//	jobimpact -logs FILE -jobs FILE [-attr D] [-window D] [-workers N]
+//	jobimpact -logs PATH [-logs PATH ...] -jobs FILE [-attr D] [-window D]
+//	          [-workers N] [-cache-dir DIR] [-no-cache]
 //	          [-lenient] [-max-bad-lines N] [-max-bad-frac F]
 //	          [-metrics] [-metrics-json FILE] [-pprof ADDR]
 //	jobimpact -data DIR [same flags]
@@ -36,13 +39,15 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jobimpact", flag.ContinueOnError)
+	var logs cliflags.PathList
+	cliflags.Logs(fs, &logs)
 	var (
-		logs    = fs.String("logs", "", "raw system log file")
 		jobs    = fs.String("jobs", "", "sacct-style job database")
 		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its files)")
 		attr    = fs.Duration("attr", 20*time.Second, "failure attribution window")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
 		workers = cliflags.Workers(fs)
+		ingFl   = cliflags.Ingest(fs)
 		lenient = cliflags.Lenient(fs)
 		obsFl   = cliflags.Obs(fs)
 	)
@@ -62,9 +67,9 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		*logs, *jobs = lp, jp
+		logs, *jobs = append(logs, lp), jp
 	}
-	if *logs == "" || *jobs == "" {
+	if len(logs) == 0 || *jobs == "" {
 		return fmt.Errorf("-logs and -jobs (or -data) are required")
 	}
 	_, stopPprof, err := obsFl.StartPprof()
@@ -72,11 +77,6 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer stopPprof()
-	lf, err := os.Open(*logs)
-	if err != nil {
-		return err
-	}
-	defer lf.Close()
 	jf, err := os.Open(*jobs)
 	if err != nil {
 		return err
@@ -94,21 +94,19 @@ func run(args []string, stdout io.Writer) error {
 	if man != nil {
 		man.Pipeline = cfg
 	}
-	var logSrc io.Reader = lf
 	var jobSrc io.Reader = jf
-	var logHash, jobHash *obs.HashingReader
+	var jobHash *obs.HashingReader
 	if man != nil {
-		logHash = obs.NewHashingReader(lf)
 		jobHash = obs.NewHashingReader(jf)
-		logSrc, jobSrc = logHash, jobHash
+		jobSrc = jobHash
 	}
 
-	res, err := core.AnalyzeLogs(logSrc, jobSrc, nil, workload.CPURecord{}, cfg)
+	res, err := core.AnalyzeLogFiles(logs, jobSrc, nil, workload.CPURecord{}, cfg, ingFl.Config())
 	if err != nil {
 		return err
 	}
+	cliflags.AddShardFiles(man, res.Shards)
 	if man != nil {
-		man.AddFile(filepath.Base(*logs), logHash.Digest())
 		man.AddFile(filepath.Base(*jobs), jobHash.Digest())
 	}
 	if res.Ingestion != nil {

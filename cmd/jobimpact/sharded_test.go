@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpuresilience/internal/dataset"
+)
+
+// TestRunShardedLogsMatchSingle: job impact attribution over a split
+// syslog (repeated -logs, then a glob) is byte-identical to the
+// single-file run.
+func TestRunShardedLogsMatchSingle(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir)
+	whole := filepath.Join(dir, dataset.SyslogFile)
+	jobs := filepath.Join(dir, dataset.JobsFile)
+
+	data, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	mid := len(lines) / 2
+	day1 := filepath.Join(dir, "day1.log")
+	day2 := filepath.Join(dir, "day2.log")
+	if err := os.WriteFile(day1, bytes.Join(lines[:mid], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(day2, bytes.Join(lines[mid:], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var single bytes.Buffer
+	if err := run([]string{"-logs", whole, "-jobs", jobs}, &single); err != nil {
+		t.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	if err := run([]string{"-logs", day1, "-logs", day2, "-jobs", jobs}, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.String() != single.String() {
+		t.Fatalf("sharded job impact diverges:\n%s\nvs\n%s", sharded.String(), single.String())
+	}
+	var globbed bytes.Buffer
+	if err := run([]string{"-logs", filepath.Join(dir, "day*.log"), "-jobs", jobs}, &globbed); err != nil {
+		t.Fatal(err)
+	}
+	if globbed.String() != single.String() {
+		t.Fatal("glob job impact diverges from single-file run")
+	}
+}

@@ -1,9 +1,14 @@
-// Command xidstat runs Stages I-II of the pipeline over a raw system log
-// and prints Table I (GPU resilience statistics).
+// Command xidstat runs Stages I-II of the pipeline over raw system logs
+// and prints Table I (GPU resilience statistics). -logs is repeatable and
+// accepts globs and directories; multiple files are sharded across workers
+// and k-way merged, and -cache-dir reuses parsed shards across runs (see
+// docs/ingest.md).
 //
 // Usage:
 //
-//	xidstat -logs FILE [-window D] [-workers N] [-lenient] [-max-bad-lines N] [-max-bad-frac F]
+//	xidstat -logs PATH [-logs PATH ...] [-window D] [-workers N]
+//	        [-cache-dir DIR] [-no-cache]
+//	        [-lenient] [-max-bad-lines N] [-max-bad-frac F]
 //	        [-metrics] [-metrics-json FILE] [-pprof ADDR]
 //	xidstat -data DIR  [same flags]
 package main
@@ -13,14 +18,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"time"
 
 	"gpuresilience/internal/calib"
 	"gpuresilience/internal/cliflags"
 	"gpuresilience/internal/core"
 	"gpuresilience/internal/dataset"
-	"gpuresilience/internal/obs"
 	"gpuresilience/internal/report"
 	"gpuresilience/internal/workload"
 )
@@ -34,11 +37,13 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("xidstat", flag.ContinueOnError)
+	var logs cliflags.PathList
+	cliflags.Logs(fs, &logs)
 	var (
-		logs    = fs.String("logs", "", "raw system log file")
 		dataDir = fs.String("data", "", "dataset directory (verifies the manifest, uses its syslog)")
 		window  = fs.Duration("window", 5*time.Second, "error coalescing window")
 		workers = cliflags.Workers(fs)
+		ingFl   = cliflags.Ingest(fs)
 		lenient = cliflags.Lenient(fs)
 		obsFl   = cliflags.Obs(fs)
 	)
@@ -54,9 +59,9 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		*logs = path
+		logs = append(logs, path)
 	}
-	if *logs == "" {
+	if len(logs) == 0 {
 		return fmt.Errorf("-logs or -data is required")
 	}
 	_, stopPprof, err := obsFl.StartPprof()
@@ -64,11 +69,6 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer stopPprof()
-	f, err := os.Open(*logs)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 
 	cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
 	cfg.CoalesceWindow = *window
@@ -80,20 +80,12 @@ func run(args []string, stdout io.Writer) error {
 	if man != nil {
 		man.Pipeline = cfg
 	}
-	var src io.Reader = f
-	var hr *obs.HashingReader
-	if man != nil {
-		hr = obs.NewHashingReader(f)
-		src = hr
-	}
 
-	res, err := core.AnalyzeLogs(src, nil, nil, workload.CPURecord{}, cfg)
+	res, err := core.AnalyzeLogFiles(logs, nil, nil, workload.CPURecord{}, cfg, ingFl.Config())
 	if err != nil {
 		return err
 	}
-	if hr != nil {
-		man.AddFile(filepath.Base(*logs), hr.Digest())
-	}
+	cliflags.AddShardFiles(man, res.Shards)
 	fmt.Fprintf(stdout, "scanned %d lines: %d XID lines, %d noise, %d malformed -> %d coalesced errors\n\n",
 		res.Extract.Lines, res.Extract.XIDLines, res.Extract.Skipped,
 		res.Extract.Malformed, res.CoalescedEvents)

@@ -22,6 +22,16 @@
 // any worker count; internal/parallel holds the pooling primitives and
 // docs/pipeline.md the determinism argument.
 //
+// Stage I also ingests many files at once: internal/ingest expands the
+// batch CLIs' repeatable -logs flag (paths, globs, directories) into a
+// deterministic shard plan, parses the shards concurrently, and k-way
+// merges the streams so the tables are byte-identical to a single
+// concatenated-file run. A columnar .evshard cache (-cache-dir) persists
+// each shard's parsed events keyed by source digest and parser
+// configuration, so warm re-analyses skip Stage I entirely; docs/ingest.md
+// has the merge invariant, the cache format, and the differential test
+// battery that enforces both.
+//
 // Stage I runs strict by default (the first malformed read fails the run);
 // PipelineConfig.Lenient (CLI flag -lenient) switches it to
 // corruption-tolerant extraction with a typed damage taxonomy, bounded
@@ -67,7 +77,8 @@
 // docs/static-analysis.md. The docs/ tree documents the
 // repository layout (docs/architecture.md), the
 // pipeline (docs/pipeline.md), the dataset file formats
-// (docs/file-formats.md), the CLI tools (docs/cli.md), the streaming
+// (docs/file-formats.md), sharded multi-file ingestion and the event
+// cache (docs/ingest.md), the CLI tools (docs/cli.md), the streaming
 // service (docs/service.md), corruption-tolerant ingestion
 // (docs/robustness.md), the observability layer (docs/observability.md),
 // the performance engineering (docs/performance.md), the custom

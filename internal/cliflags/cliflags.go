@@ -4,6 +4,10 @@
 // all); now every command gets the same names, defaults, and help strings
 // from one place, plus the observability flags the obs layer adds:
 //
+//	-logs PATH        raw log input: repeatable, and each occurrence may be
+//	                  a file, a glob, or a directory of per-day logs
+//	-cache-dir DIR    columnar event-shard cache (.evshard files)
+//	-no-cache         force a cold run even when -cache-dir is set
 //	-workers N        pipeline parallelism (0 = all cores, 1 = sequential)
 //	-lenient          corruption-tolerant Stage I
 //	-max-bad-lines N  lenient absolute error budget (implies -lenient)
@@ -21,11 +25,83 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"gpuresilience/internal/core"
+	"gpuresilience/internal/ingest"
 	"gpuresilience/internal/obs"
 	"gpuresilience/internal/parallel"
 )
+
+// PathList is a repeatable path flag: each occurrence appends one pattern.
+// The batch CLIs expand the accumulated patterns into a shard plan
+// (internal/ingest), so a single flag value may itself be a glob or a
+// directory; the daemon tails each entry directly.
+type PathList []string
+
+// String renders the accumulated paths for -help output.
+func (p *PathList) String() string { return strings.Join(*p, ",") }
+
+// Set appends one pattern per flag occurrence.
+func (p *PathList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty path")
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+// Logs registers the canonical repeatable -logs flag into dst.
+func Logs(fs *flag.FlagSet, dst *PathList) {
+	fs.Var(dst, "logs", "raw system log: file, glob, or directory (repeatable)")
+}
+
+// IngestFlags carries the event-shard cache pair.
+type IngestFlags struct {
+	// CacheDir is the -cache-dir root ("" = caching off).
+	CacheDir *string
+	// NoCache is the -no-cache override for scripts that always pass
+	// -cache-dir but need an occasional forced cold run.
+	NoCache *bool
+}
+
+// Ingest registers -cache-dir and -no-cache.
+func Ingest(fs *flag.FlagSet) *IngestFlags {
+	return &IngestFlags{
+		CacheDir: fs.String("cache-dir", "", "event-shard cache directory: parsed shards are written as .evshard files and re-analysis skips Stage I"),
+		NoCache:  fs.Bool("no-cache", false, "ignore -cache-dir: neither read nor write cached shards"),
+	}
+}
+
+// Config resolves the pair into the pipeline's ingest settings.
+func (f *IngestFlags) Config() core.IngestConfig {
+	if *f.NoCache {
+		return core.IngestConfig{}
+	}
+	return core.IngestConfig{CacheDir: *f.CacheDir}
+}
+
+// AddShardFiles records every shard's digest in the run manifest, keyed by
+// base name when unique (matching the single-file CLIs' historical shape)
+// and by full path when two shards share a base name. No-op on a nil
+// manifest.
+func AddShardFiles(man *obs.RunManifest, shards []ingest.ShardInfo) {
+	if man == nil {
+		return
+	}
+	bases := make(map[string]int, len(shards))
+	for _, sh := range shards {
+		bases[filepath.Base(sh.Path)]++
+	}
+	for _, sh := range shards {
+		name := filepath.Base(sh.Path)
+		if bases[name] > 1 {
+			name = sh.Path
+		}
+		man.AddFile(name, sh.Digest)
+	}
+}
 
 // Workers registers the canonical -workers flag.
 func Workers(fs *flag.FlagSet) *int {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"gpuresilience/internal/core"
+	"gpuresilience/internal/ingest"
 	"gpuresilience/internal/obs"
 )
 
@@ -224,4 +225,77 @@ func TestEmitJSON(t *testing.T) {
 	if rep.Metrics.Counters["demo.count"] != 1 {
 		t.Fatalf("counters = %+v", rep.Metrics.Counters)
 	}
+}
+
+func TestPathListRepeatable(t *testing.T) {
+	fs := newSet()
+	var logs PathList
+	Logs(fs, &logs)
+	if err := fs.Parse([]string{"-logs", "a.log", "-logs", "b/*.log", "-logs", "dir"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 3 || logs[0] != "a.log" || logs[1] != "b/*.log" || logs[2] != "dir" {
+		t.Fatalf("accumulated: %v", logs)
+	}
+	if got := logs.String(); got != "a.log,b/*.log,dir" {
+		t.Fatalf("String: %q", got)
+	}
+}
+
+func TestPathListRejectsEmpty(t *testing.T) {
+	fs := newSet()
+	var logs PathList
+	Logs(fs, &logs)
+	if err := fs.Parse([]string{"-logs", ""}); err == nil {
+		t.Fatal("empty -logs accepted")
+	}
+}
+
+func TestIngestConfig(t *testing.T) {
+	fs := newSet()
+	ing := Ingest(fs)
+	if err := fs.Parse([]string{"-cache-dir", "/tmp/cache"}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := ing.Config(); cfg.CacheDir != "/tmp/cache" {
+		t.Fatalf("config: %+v", cfg)
+	}
+
+	fs = newSet()
+	ing = Ingest(fs)
+	if err := fs.Parse([]string{"-cache-dir", "/tmp/cache", "-no-cache"}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := ing.Config(); cfg.CacheDir != "" {
+		t.Fatalf("-no-cache must win: %+v", cfg)
+	}
+}
+
+func TestAddShardFiles(t *testing.T) {
+	man := obs.NewRunManifest("test")
+	shards := []ingest.ShardInfo{
+		{Path: "logs/day1.log", Digest: obs.FileDigest{Bytes: 10, SHA256: "aa"}},
+		{Path: "logs/day2.log", Digest: obs.FileDigest{Bytes: 20, SHA256: "bb"}},
+	}
+	AddShardFiles(man, shards)
+	if len(man.Files) != 2 {
+		t.Fatalf("files: %+v", man.Files)
+	}
+	// Unique base names key by base name, matching the single-file CLIs.
+	if man.Files["day1.log"].SHA256 != "aa" || man.Files["day2.log"].SHA256 != "bb" {
+		t.Fatalf("base-name keys: %+v", man.Files)
+	}
+
+	// Colliding base names fall back to the full path.
+	man = obs.NewRunManifest("test")
+	AddShardFiles(man, []ingest.ShardInfo{
+		{Path: "a/syslog.txt", Digest: obs.FileDigest{SHA256: "aa"}},
+		{Path: "b/syslog.txt", Digest: obs.FileDigest{SHA256: "bb"}},
+	})
+	if man.Files["a/syslog.txt"].SHA256 != "aa" || man.Files["b/syslog.txt"].SHA256 != "bb" {
+		t.Fatalf("collision keys: %+v", man.Files)
+	}
+
+	// Nil manifest (observability off) is a no-op, not a panic.
+	AddShardFiles(nil, shards)
 }

@@ -23,6 +23,7 @@ import (
 	"gpuresilience/internal/cluster"
 	"gpuresilience/internal/coalesce"
 	"gpuresilience/internal/impact"
+	"gpuresilience/internal/ingest"
 	"gpuresilience/internal/intern"
 	"gpuresilience/internal/obs"
 	"gpuresilience/internal/parallel"
@@ -161,6 +162,11 @@ type Results struct {
 	JobStats impact.JobStats
 
 	Avail avail.Analysis
+
+	// Shards records the per-file provenance of a sharded multi-file run
+	// (AnalyzeLogFiles): each input's content digest, event count, and
+	// cache outcome, in plan order. Nil on single-stream runs.
+	Shards []ingest.ShardInfo
 }
 
 // Analyze runs Stages II and III over parsed inputs. repairs are the node
@@ -466,6 +472,74 @@ func runStage1(r io.Reader, cfg PipelineConfig) ([]xid.Event, syslog.ExtractStat
 	sp.AddIn(int64(st.Lines))
 	sp.AddOut(int64(len(events)))
 	return events, st, rep, err
+}
+
+// IngestConfig selects the multi-file front end's cache behavior.
+type IngestConfig struct {
+	// CacheDir enables the columnar event-shard cache rooted there; ""
+	// disables caching.
+	CacheDir string
+}
+
+// AnalyzeLogFiles runs the full pipeline over one or more raw log files:
+// the patterns expand to a deterministic shard plan (globs, directories,
+// repeated -logs flags), every shard runs Stage I concurrently on the
+// pooled byte parsers — or loads from the event-shard cache and skips the
+// parse — and the merged stream feeds Stages II-III. Tables I-III and the
+// availability analysis are byte-identical to a single AnalyzeLogs run
+// over the files' concatenation in plan order, at any worker count, warm
+// or cold. Results.Shards carries each file's digest and cache outcome.
+func AnalyzeLogFiles(patterns []string, jobDB io.Reader, repairs []time.Duration,
+	cpu workload.CPURecord, cfg PipelineConfig, ing IngestConfig) (*Results, error) {
+	plan, err := ingest.PlanFiles(patterns)
+	if err != nil {
+		return nil, err
+	}
+	opt := ingest.Options{
+		Workers:        cfg.Workers,
+		Lenient:        cfg.Lenient,
+		LenientOptions: cfg.lenientOptions(),
+		Obs:            cfg.Obs,
+	}
+	if ing.CacheDir != "" {
+		opt.Cache = ingest.NewCache(ing.CacheDir)
+	}
+	var (
+		ext  *ingest.Result
+		jobs []*slurmsim.Job
+	)
+	loaders := []func() error{
+		func() error {
+			var err error
+			ext, err = ingest.Extract(plan, opt)
+			if err != nil {
+				return fmt.Errorf("core: stage I: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			if jobDB == nil {
+				return nil
+			}
+			var err error
+			jobs, err = slurmsim.LoadDB(jobDB)
+			if err != nil {
+				return fmt.Errorf("core: load job DB: %w", err)
+			}
+			return nil
+		},
+	}
+	if err := parallel.ForEach(len(loaders), cfg.Workers, func(i int) error { return loaders[i]() }); err != nil {
+		return nil, err
+	}
+	res, err := Analyze(ext.Events, jobs, repairs, cpu, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Extract = ext.Stats
+	res.Ingestion = ext.Ingestion
+	res.Shards = ext.Shards
+	return res, nil
 }
 
 // AnalyzeLogs runs the full pipeline from raw inputs: a syslog stream and a

@@ -1,0 +1,182 @@
+// Differential battery at the pipeline level: the sharded multi-file front
+// end must render Tables I-III and the availability section byte-identical
+// to the single-stream pipeline, at any worker count, cold or cache-warm.
+// The tests live in an external package because they drive internal/core,
+// which itself imports internal/ingest.
+package ingest_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/calib"
+	"gpuresilience/internal/core"
+	"gpuresilience/internal/obs"
+	"gpuresilience/internal/report"
+	"gpuresilience/internal/syslog"
+	"gpuresilience/internal/workload"
+	"gpuresilience/internal/xid"
+)
+
+// operationalLog renders a time-ordered log inside the calibrated
+// operational period so Tables I-III have non-trivial rows.
+func operationalLog(t *testing.T, n int, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := syslog.NewWriter(&buf, syslog.DefaultWriterConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	base := calib.Op().Start.Add(24 * time.Hour)
+	codes := []xid.Code{xid.MMU, xid.NVLink, xid.DBE, xid.GSPError, xid.FallenOffBus}
+	for i := 0; i < n; i++ {
+		ev := xid.Event{
+			Time:   base.Add(time.Duration(i) * 11 * time.Second),
+			Node:   fmt.Sprintf("gpub%03d", rng.Intn(8)+1),
+			GPU:    rng.Intn(4),
+			Code:   codes[rng.Intn(len(codes))],
+			Detail: "d",
+		}
+		if _, err := w.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// splitIntoFiles writes data as k files split at line boundaries under a
+// fresh directory, named so that directory order equals stream order.
+func splitIntoFiles(t *testing.T, data []byte, k int, rng *rand.Rand) string {
+	t.Helper()
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	dir := t.TempDir()
+	cuts := []int{0, len(lines)}
+	for i := 0; i < k-1; i++ {
+		cuts = append(cuts, rng.Intn(len(lines)+1))
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+	}
+	for i := 1; i < len(cuts); i++ {
+		part := bytes.Join(lines[cuts[i-1]:cuts[i]], nil)
+		name := filepath.Join(dir, fmt.Sprintf("part_%03d.log", i-1))
+		if err := os.WriteFile(name, part, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// renderAll renders the full report (Tables I-III + availability) to bytes.
+func renderAll(t *testing.T, res *core.Results) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := report.WriteAll(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteFindings(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedTablesByteIdenticalToSingleStream is the tentpole acceptance
+// criterion: sharded multi-file ingestion of a split log renders Tables
+// I-III and availability byte-identical to the single-file run at workers
+// 1, 4, and 16.
+func TestShardedTablesByteIdenticalToSingleStream(t *testing.T) {
+	data := operationalLog(t, 300, 77)
+	rng := rand.New(rand.NewSource(101))
+	dir := splitIntoFiles(t, data, 5, rng)
+
+	for _, workers := range []int{1, 4, 16} {
+		cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
+		cfg.Workers = workers
+		single, err := core.AnalyzeLogs(bytes.NewReader(data), nil, nil, workload.CPURecord{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := core.AnalyzeLogFiles([]string{dir}, nil, nil, workload.CPURecord{}, cfg, core.IngestConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := renderAll(t, single), renderAll(t, sharded)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: sharded report diverges from single-stream\n--- sharded ---\n%s\n--- single ---\n%s",
+				workers, got, want)
+		}
+		if sharded.Extract != single.Extract {
+			t.Fatalf("workers=%d: extract stats %+v != %+v", workers, sharded.Extract, single.Extract)
+		}
+		if len(sharded.Shards) != 5 {
+			t.Fatalf("workers=%d: shard records: %+v", workers, sharded.Shards)
+		}
+	}
+}
+
+// TestCacheWarmPipelineByteIdentical: a cache-warm AnalyzeLogFiles run
+// renders the identical report while skipping Stage I entirely — no
+// stage1.extract span, every shard a cache hit.
+func TestCacheWarmPipelineByteIdentical(t *testing.T) {
+	data := operationalLog(t, 200, 79)
+	rng := rand.New(rand.NewSource(103))
+	dir := splitIntoFiles(t, data, 3, rng)
+	cacheDir := t.TempDir()
+
+	run := func() (*core.Results, obs.Snapshot) {
+		reg := obs.New()
+		cfg := core.DefaultPipelineConfig(calib.PreOp(), calib.Op(), calib.Nodes)
+		cfg.Workers = 4
+		cfg.Obs = reg
+		res, err := core.AnalyzeLogFiles([]string{dir}, nil, nil, workload.CPURecord{},
+			cfg, core.IngestConfig{CacheDir: cacheDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg.Snapshot()
+	}
+
+	cold, coldSnap := run()
+	warm, warmSnap := run()
+
+	if coldSnap.Counters["cache.miss"] != 3 || coldSnap.Counters["cache.write"] != 3 {
+		t.Fatalf("cold counters: %+v", coldSnap.Counters)
+	}
+	hasExtract := func(s obs.Snapshot) bool {
+		for _, sp := range s.Spans {
+			if sp.Name == "stage1.extract" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasExtract(coldSnap) {
+		t.Fatal("cold run did not record stage1.extract")
+	}
+	if hasExtract(warmSnap) {
+		t.Fatal("warm run re-ran Stage I")
+	}
+	if warmSnap.Counters["cache.hit"] != 3 {
+		t.Fatalf("warm counters: %+v", warmSnap.Counters)
+	}
+	want, got := renderAll(t, cold), renderAll(t, warm)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("warm report diverges from cold:\n--- warm ---\n%s\n--- cold ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,394 @@
+package ingest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+
+	"gpuresilience/internal/intern"
+	"gpuresilience/internal/obs"
+	"gpuresilience/internal/parallel"
+	"gpuresilience/internal/syslog"
+	"gpuresilience/internal/xid"
+)
+
+// Options configures a sharded Stage I run.
+type Options struct {
+	// Workers bounds the run's total parallelism: with one shard it is the
+	// chunk-level worker count of the existing sharded extractor, with
+	// many shards it is how many files parse concurrently. 0 means
+	// GOMAXPROCS, 1 is fully sequential.
+	Workers int
+	// Lenient switches every shard to the corruption-tolerant extractor.
+	// Lenient runs bypass the cache (quarantine state is not persisted).
+	Lenient bool
+	// LenientOptions carries the run-wide error budgets. The absolute
+	// budget also fails any single shard fast; the fractional budget is
+	// evaluated once over the merged totals, matching the single-stream
+	// rule that a running fraction is never checked mid-stream.
+	LenientOptions syslog.LenientOptions
+	// Cache enables the event-shard cache when non-nil.
+	Cache *Cache
+	// Obs receives the ingest spans and cache counters when non-nil.
+	Obs *obs.Registry
+}
+
+// ShardInfo is one shard's per-run record: provenance for manifests plus
+// what the cache did for it.
+type ShardInfo struct {
+	// Path is the shard's log file.
+	Path string
+	// Digest is the file's content digest (size + SHA-256), the same shape
+	// run manifests pin inputs with.
+	Digest obs.FileDigest
+	// Events is how many events the shard contributed.
+	Events int
+	// Outcome says whether the shard was served from cache.
+	Outcome CacheOutcome
+}
+
+// Result is a sharded Stage I run's output: the merged event stream,
+// aggregate scan statistics, and the per-shard records.
+type Result struct {
+	// Events is the merged stream, ordered by (timestamp, shard ordinal,
+	// source line).
+	Events []xid.Event
+	// Stats sums every shard's scan statistics.
+	Stats syslog.ExtractStats
+	// Ingestion is the merged lenient report (nil on strict runs), with
+	// quarantine line numbers rebased to the concatenated stream.
+	Ingestion *syslog.IngestionReport
+	// Shards records each shard in plan order.
+	Shards []ShardInfo
+}
+
+// shardState is the per-shard scratch the extraction phases fill in.
+type shardState struct {
+	digest  [digestLen]byte
+	size    int64
+	events  []xid.Event
+	stats   syslog.ExtractStats
+	report  *syslog.IngestionReport
+	outcome CacheOutcome
+}
+
+// hashFile streams one file through SHA-256 without retaining its bytes.
+func hashFile(path string) ([digestLen]byte, int64, error) {
+	var sum [digestLen]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return sum, 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return sum, 0, fmt.Errorf("ingest: hash %s: %w", path, err)
+	}
+	copy(sum[:], h.Sum(nil))
+	return sum, n, nil
+}
+
+// Extract runs Stage I over every shard in the plan and merges the
+// results. Cached shards load without parsing; the rest parse concurrently
+// on the pooled byte parsers (bounded by opt.Workers) and are written back
+// to the cache. The merged stream and statistics are identical at any
+// worker count, and produce Tables I-III byte-identical to a single run
+// over the shards' concatenation in plan order.
+//
+// When opt.Obs is enabled the run records the ingest.shards gauge, the
+// cache.{hit,miss,invalidated,bypass,write} counters, a per-shard
+// stage1.shard.N span for every parsed shard, and the usual umbrella
+// stage1.extract / stage1.lenient span — only when at least one shard
+// actually parsed, so a fully cache-warm run is recognizable by that
+// span's absence.
+func Extract(plan Plan, opt Options) (*Result, error) {
+	n := len(plan.Shards)
+	if n == 0 {
+		return nil, fmt.Errorf("ingest: empty plan")
+	}
+	reg := opt.Obs
+	reg.Gauge("ingest.shards").Set(int64(n))
+	states := make([]shardState, n)
+
+	cacheable := opt.Cache != nil && !opt.Lenient
+	if opt.Cache != nil && opt.Lenient {
+		reg.Counter("cache.bypass").Add(int64(n))
+		for i := range states {
+			states[i].outcome = CacheBypass
+		}
+	}
+
+	// Probe phase: hash every source and try its cache entry, in
+	// parallel. Counters are bumped after the fan-in, in plan order, so
+	// metric totals are deterministic (they would be anyway — counters
+	// are atomic — but ordering keeps traces readable).
+	if cacheable {
+		err := parallel.ForEach(n, opt.Workers, func(i int) error {
+			st := &states[i]
+			var err error
+			st.digest, st.size, err = hashFile(plan.Shards[i].Path)
+			if err != nil {
+				return err
+			}
+			var p *Payload
+			p, st.outcome = opt.Cache.Load(plan.Shards[i].Path, st.digest)
+			if st.outcome == CacheHit {
+				st.events, st.stats = p.Events, p.Stats
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range states {
+			reg.Counter("cache." + states[i].outcome.String()).Add(1)
+		}
+	}
+
+	// Parse phase: every shard the cache could not serve. The umbrella
+	// span exists only when this phase has work, so its absence marks a
+	// fully warm run.
+	var toParse []int
+	for i := range states {
+		if states[i].outcome != CacheHit {
+			toParse = append(toParse, i)
+		}
+	}
+	if len(toParse) > 0 {
+		if err := parseShards(plan, states, toParse, opt); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Shards: make([]ShardInfo, n)}
+	streams := make([][]xid.Event, n)
+	var reports []*syslog.IngestionReport
+	for i := range states {
+		st := &states[i]
+		streams[i] = st.events
+		res.Stats.Lines += st.stats.Lines
+		res.Stats.XIDLines += st.stats.XIDLines
+		res.Stats.Skipped += st.stats.Skipped
+		res.Stats.Malformed += st.stats.Malformed
+		if st.report != nil {
+			reports = append(reports, st.report)
+		}
+		res.Shards[i] = ShardInfo{
+			Path:    plan.Shards[i].Path,
+			Digest:  obs.FileDigest{Bytes: st.size, SHA256: hex.EncodeToString(st.digest[:])},
+			Events:  len(st.events),
+			Outcome: st.outcome,
+		}
+	}
+	res.Events = mergeShards(streams)
+	if opt.Lenient {
+		rep, err := mergeReports(reports, opt.LenientOptions)
+		res.Ingestion = rep
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// parseShards runs Stage I over the listed shards. A single-shard plan
+// keeps the whole worker budget for chunk-level parallelism inside the
+// file (the pre-sharding fast path); a multi-shard plan parallelizes
+// across files with sequential per-file scans, which keeps every shard's
+// output and statistics chunking-independent.
+func parseShards(plan Plan, states []shardState, toParse []int, opt Options) error {
+	var (
+		sp        *obs.Span
+		meter     parallel.WorkerMeter
+		alloc     *intern.Stats
+		shardSpan func(ordinal int) *obs.Span
+	)
+	reg := opt.Obs
+	if reg.Enabled() {
+		name := "stage1.extract"
+		if opt.Lenient {
+			name = "stage1.lenient"
+		}
+		sp = reg.StartSpan(name)
+		sp.SetWorkers(parallel.Resolve(opt.Workers))
+		meter = sp.ObserveWorker
+		alloc = new(intern.Stats)
+		defer func() {
+			sp.End()
+			reg.Counter("intern.hits").Add(alloc.Hits)
+			reg.Counter("intern.misses").Add(alloc.Misses)
+			reg.Counter("stage1.alloc_bytes").Add(alloc.Bytes)
+		}()
+		shardSpan = func(ordinal int) *obs.Span {
+			return reg.StartSpan(fmt.Sprintf("stage1.shard.%03d", ordinal))
+		}
+	}
+
+	single := len(plan.Shards) == 1
+	innerWorkers, outerWorkers := 1, opt.Workers
+	var outerMeter parallel.WorkerMeter
+	if single {
+		// One file: chunk-level parallelism inside the scan, metered per
+		// chunk exactly like the pre-sharding pipeline.
+		innerWorkers, outerWorkers = opt.Workers, 1
+	} else {
+		outerMeter = meter
+		meter = nil
+	}
+
+	allocs := make([]intern.Stats, len(toParse))
+	err := parallel.ForEachMeter(len(toParse), outerWorkers, outerMeter, func(k int) error {
+		i := toParse[k]
+		st := &states[i]
+		shard := plan.Shards[i]
+		f, err := os.Open(shard.Path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+
+		// The parse pass doubles as the hash pass when the probe phase
+		// did not already digest the file.
+		var src io.Reader = f
+		var hr *obs.HashingReader
+		if st.size == 0 && st.digest == [digestLen]byte{} {
+			hr = obs.NewHashingReader(f)
+			src = hr
+		}
+		var cr *obs.CountingReader
+		if sp != nil {
+			cr = obs.NewCountingReader(src)
+			src = cr
+		}
+		collect := func(ev xid.Event) error {
+			st.events = append(st.events, ev)
+			return nil
+		}
+		if opt.Lenient {
+			lopt := opt.LenientOptions
+			lopt.MaxBadFrac = 0 // fractional budget applies to the merged stream only
+			st.report, err = syslog.ExtractLenientParallelAlloc(src, innerWorkers, lopt, meter, &allocs[k], collect)
+			if st.report != nil {
+				st.stats = syslog.ExtractStats{
+					Lines:     st.report.Lines,
+					XIDLines:  st.report.Records,
+					Skipped:   st.report.Noise,
+					Malformed: st.report.BadTotal,
+				}
+			}
+		} else {
+			st.stats, err = syslog.ExtractParallelAlloc(src, innerWorkers, meter, &allocs[k], collect)
+		}
+		if err != nil {
+			return fmt.Errorf("ingest: shard %s: %w", shard.Path, err)
+		}
+		if hr != nil {
+			d := hr.Digest()
+			st.size = d.Bytes
+			sum, derr := hex.DecodeString(d.SHA256)
+			if derr == nil {
+				copy(st.digest[:], sum)
+			}
+		}
+		if ssp := shardSpan; ssp != nil {
+			s := ssp(shard.Ordinal)
+			s.AddIn(int64(st.stats.Lines))
+			s.AddOut(int64(len(st.events)))
+			if cr != nil {
+				s.AddBytes(cr.N())
+			}
+			s.End()
+		}
+		if sp != nil && cr != nil {
+			sp.AddBytes(cr.N())
+		}
+		if opt.Cache != nil && !opt.Lenient {
+			p := &Payload{SourceDigest: st.digest, SourcePath: shard.Path, Stats: st.stats, Events: st.events}
+			if err := opt.Cache.Store(shard.Path, p); err != nil {
+				return err
+			}
+			reg.Counter("cache.write").Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range allocs {
+		if alloc != nil {
+			alloc.Add(allocs[i])
+		}
+	}
+	if sp != nil {
+		var lines, events int64
+		for _, i := range toParse {
+			lines += int64(states[i].stats.Lines)
+			events += int64(len(states[i].events))
+		}
+		sp.AddIn(lines)
+		sp.AddOut(events)
+	}
+	return nil
+}
+
+// mergeReports folds per-shard lenient reports into one run-wide report:
+// counts sum, quarantine samples concatenate in plan order with line
+// numbers rebased to the concatenated stream (re-trimmed to the per-class
+// cap), and the run-wide error budgets are enforced over the merged
+// totals. The returned error, if any, is the same *syslog.BudgetError a
+// single-stream run would fail with.
+func mergeReports(reports []*syslog.IngestionReport, opt syslog.LenientOptions) (*syslog.IngestionReport, error) {
+	merged := &syslog.IngestionReport{}
+	perClass := opt.QuarantinePerClass
+	if perClass <= 0 {
+		perClass = 4 // defaultQuarantinePerClass in internal/syslog
+	}
+	var kept [syslog.NumLineClasses]int
+	offset := 0
+	for _, r := range reports {
+		merged.Records += r.Records
+		merged.Noise += r.Noise
+		for c := 0; c < syslog.NumLineClasses; c++ {
+			merged.Bad[c] += r.Bad[c]
+		}
+		merged.BadTotal += r.BadTotal
+		for _, q := range r.Quarantine {
+			if kept[q.Class] >= perClass {
+				continue
+			}
+			kept[q.Class]++
+			q.Line += offset
+			merged.Quarantine = append(merged.Quarantine, q)
+		}
+		offset += r.Lines
+		merged.Lines += r.Lines
+	}
+	// Dominant is stamped only on failure, matching the single-stream
+	// report (a clean run leaves Budget.Dominant at its zero value).
+	merged.Budget = syslog.BudgetStatus{
+		MaxBadLines: opt.MaxBadLines,
+		MaxBadFrac:  opt.MaxBadFrac,
+	}
+	if opt.MaxBadLines > 0 && merged.BadTotal > opt.MaxBadLines {
+		dom, _ := merged.Dominant()
+		merged.Budget.Exceeded = true
+		merged.Budget.Dominant = dom
+		return merged, &syslog.BudgetError{
+			Kind: syslog.BudgetLines, BadTotal: merged.BadTotal,
+			Lines: merged.Lines, Limit: float64(opt.MaxBadLines), Dominant: dom,
+		}
+	}
+	if opt.MaxBadFrac > 0 && merged.BadFrac() > opt.MaxBadFrac {
+		dom, _ := merged.Dominant()
+		merged.Budget.Exceeded = true
+		merged.Budget.Dominant = dom
+		return merged, &syslog.BudgetError{
+			Kind: syslog.BudgetFraction, BadTotal: merged.BadTotal,
+			Lines: merged.Lines, Limit: opt.MaxBadFrac, Dominant: dom,
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,119 @@
+package ingest
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"gpuresilience/internal/xid"
+)
+
+// randomStream builds n events with heavily colliding timestamps (so the
+// ordinal tiebreak is actually exercised), tagged through Detail with their
+// origin so merge order is checkable.
+func randomStream(rng *rand.Rand, shard, n int) []xid.Event {
+	base := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	events := make([]xid.Event, n)
+	for i := range events {
+		events[i] = xid.Event{
+			Time:   base.Add(time.Duration(rng.Intn(8)) * time.Second),
+			Node:   fmt.Sprintf("gpub%03d", rng.Intn(4)),
+			GPU:    rng.Intn(8),
+			Code:   xid.Code(rng.Intn(150)),
+			Detail: fmt.Sprintf("s%d#%d", shard, i),
+		}
+	}
+	return events
+}
+
+// referenceMerge is the specification: concatenate the (already
+// time-normalized) shards in plan order, then stable-sort by time only.
+func referenceMerge(shards [][]xid.Event) []xid.Event {
+	var all []xid.Event
+	for _, s := range shards {
+		cp := append([]xid.Event(nil), s...)
+		normalizeShard(cp)
+		all = append(all, cp...)
+	}
+	sort.SliceStable(all, func(i, k int) bool { return all[i].Time.Before(all[k].Time) })
+	return all
+}
+
+func TestMergeShardsMatchesStableConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(6)
+		shards := make([][]xid.Event, k)
+		for i := range shards {
+			// Sizes include empty and single-event shards often.
+			n := rng.Intn(12)
+			shards[i] = randomStream(rng, i, n)
+		}
+		want := referenceMerge(shards)
+		got := mergeShards(shards)
+		if len(want) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("trial %d: want empty, got %d events", trial, len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged order diverges from stable concatenation\n got: %v\nwant: %v",
+				trial, got, want)
+		}
+	}
+}
+
+func TestMergeShardsAllEmpty(t *testing.T) {
+	if got := mergeShards([][]xid.Event{nil, {}, nil}); got != nil {
+		t.Fatalf("all-empty merge: %v", got)
+	}
+}
+
+func TestMergeShardsSingleNonEmptyFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomStream(rng, 0, 20)
+	want := referenceMerge([][]xid.Event{s})
+	got := mergeShards([][]xid.Event{nil, s, {}})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("single non-empty shard fast path diverges")
+	}
+}
+
+func TestNormalizeShardIsStable(t *testing.T) {
+	ts := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	events := []xid.Event{
+		{Time: ts.Add(time.Second), Detail: "late-1"},
+		{Time: ts, Detail: "a"},
+		{Time: ts, Detail: "b"},
+		{Time: ts.Add(time.Second), Detail: "late-2"},
+		{Time: ts, Detail: "c"},
+	}
+	normalizeShard(events)
+	var got []string
+	for _, ev := range events {
+		got = append(got, ev.Detail)
+	}
+	want := []string{"a", "b", "c", "late-1", "late-2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stable sort order: %v, want %v", got, want)
+	}
+}
+
+func TestTimeSortedDetectsOrder(t *testing.T) {
+	ts := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	sorted := []xid.Event{{Time: ts}, {Time: ts}, {Time: ts.Add(time.Second)}}
+	if !timeSorted(sorted) {
+		t.Fatal("sorted stream reported unsorted")
+	}
+	unsorted := []xid.Event{{Time: ts.Add(time.Second)}, {Time: ts}}
+	if timeSorted(unsorted) {
+		t.Fatal("unsorted stream reported sorted")
+	}
+	if !timeSorted(nil) {
+		t.Fatal("empty stream reported unsorted")
+	}
+}

@@ -1,0 +1,160 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// touch creates an empty regular file.
+func touch(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandDirectorySortedByName(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"c.log", "a.log", "b.log"} {
+		touch(t, filepath.Join(dir, name))
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := Expand([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "a.log"),
+		filepath.Join(dir, "b.log"),
+		filepath.Join(dir, "c.log"),
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("got %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("got %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestExpandGlobSorted(t *testing.T) {
+	dir := t.TempDir()
+	touch(t, filepath.Join(dir, "day2.log"))
+	touch(t, filepath.Join(dir, "day1.log"))
+	touch(t, filepath.Join(dir, "other.txt"))
+	paths, err := Expand([]string{filepath.Join(dir, "day*.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || !strings.HasSuffix(paths[0], "day1.log") || !strings.HasSuffix(paths[1], "day2.log") {
+		t.Fatalf("glob expansion: %v", paths)
+	}
+}
+
+func TestExpandGlobMatchingDirectoryRecurses(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "logs")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	touch(t, filepath.Join(sub, "a.log"))
+	paths, err := Expand([]string{filepath.Join(dir, "lo*")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || !strings.HasSuffix(paths[0], "a.log") {
+		t.Fatalf("glob-matched directory: %v", paths)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty")
+	if err := os.Mkdir(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		patterns []string
+		want     string
+	}{
+		{"empty dir", []string{empty}, "no regular files"},
+		{"no glob match", []string{filepath.Join(dir, "*.log")}, "matched no files"},
+		{"no patterns", nil, "no log files"},
+	}
+	for _, tc := range cases {
+		_, err := Expand(tc.patterns)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestExpandKeepsLiteralNonexistentPath(t *testing.T) {
+	// The daemon tails files that may not exist yet; a literal path must
+	// survive expansion untouched even when it does not stat.
+	paths, err := Expand([]string{"/nonexistent/future.log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "/nonexistent/future.log" {
+		t.Fatalf("literal path: %v", paths)
+	}
+}
+
+func TestExpandDeduplicatesKeepingFirst(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.log")
+	b := filepath.Join(dir, "b.log")
+	touch(t, a)
+	touch(t, b)
+	// b named explicitly first, then again via the directory expansion.
+	paths, err := Expand([]string{b, dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0] != b || paths[1] != a {
+		t.Fatalf("dedupe order: %v", paths)
+	}
+}
+
+func TestPlanFilesOrdinalsAndSizes(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.log"), []byte("aa\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.log"), []byte("bbbb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFiles([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 2 {
+		t.Fatalf("shards: %+v", plan.Shards)
+	}
+	if plan.Shards[0].Ordinal != 0 || plan.Shards[1].Ordinal != 1 {
+		t.Fatalf("ordinals: %+v", plan.Shards)
+	}
+	if plan.Shards[0].Bytes != 3 || plan.Shards[1].Bytes != 5 {
+		t.Fatalf("sizes: %+v", plan.Shards)
+	}
+}
+
+func TestPlanFilesRequiresExistingRegularFiles(t *testing.T) {
+	if _, err := PlanFiles([]string{"/nonexistent/future.log"}); err == nil {
+		t.Fatal("want error for nonexistent literal path")
+	}
+	if st, err := os.Stat("/dev/null"); err != nil || st.Mode().IsRegular() {
+		t.Skip("no /dev/null device to exercise the regular-file check")
+	}
+	if _, err := PlanFiles([]string{"/dev/null"}); err == nil ||
+		!strings.Contains(err.Error(), "not a regular file") {
+		t.Fatalf("non-regular planned file: err = %v", err)
+	}
+}
