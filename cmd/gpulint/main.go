@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	gpulint [-json] [-baseline file] [-write-baseline] [-C dir] [-analyzers] [packages...]
+//	gpulint [-json] [-timing] [-baseline file] [-write-baseline] [-C dir] [-analyzers] [packages...]
 //
 // With no package patterns, ./... is linted. See docs/static-analysis.md.
 package main
@@ -34,7 +34,8 @@ func main() {
 // report is the -json document: every finding, baselined ones included, so
 // CI can archive the full picture as an artifact.
 type report struct {
-	Findings []lint.Finding `json:"findings"`
+	Findings []lint.Finding        `json:"findings"`
+	Timings  []lint.AnalyzerTiming `json:"timings,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	writeBaseline := fs.Bool("write-baseline", false, "regenerate the baseline from current findings and exit")
 	dir := fs.String("C", "", "run as if started in this directory")
 	listAnalyzers := fs.Bool("analyzers", false, "list registered analyzers and exit")
+	timing := fs.Bool("timing", false, "report per-analyzer wall time (stderr, or the timings field with -json)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,7 +66,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gpulint: %v\n", err)
 		return 2
 	}
-	findings := lint.Run(mod, lint.All())
+	var timings []lint.AnalyzerTiming
+	var findings []lint.Finding
+	if *timing {
+		findings, timings = lint.RunTimed(mod, lint.All())
+	} else {
+		findings = lint.Run(mod, lint.All())
+	}
 
 	path := *baselinePath
 	if path == "" {
@@ -90,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{Findings: findings}); err != nil {
+		if err := enc.Encode(report{Findings: findings, Timings: timings}); err != nil {
 			fmt.Fprintf(stderr, "gpulint: %v\n", err)
 			return 2
 		}
@@ -111,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if !*jsonOut {
 				fmt.Fprintf(stdout, "%s:%d:%d [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 			}
+		}
+	}
+	if *timing && !*jsonOut {
+		fmt.Fprintf(stderr, "gpulint: per-analyzer wall time (slowest first):\n")
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "  %-16s %8.1f ms\n", tm.Name, tm.Millis)
 		}
 	}
 	switch {

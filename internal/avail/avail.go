@@ -23,7 +23,7 @@ type Analysis struct {
 	MTTRHours float64
 	// MedianHours and P99Hours summarize the Figure 2 distribution.
 	MedianHours float64
-	P99Hours    float64
+	P99Hours    float64 // see MedianHours
 	// LostNodeHours is the cumulative downtime (the paper reports ~5,700).
 	LostNodeHours float64
 	// MTTFHours is period-hours x nodes / error count (162 h in the paper).
@@ -38,14 +38,14 @@ type Analysis struct {
 
 // Config parameterizes the analysis.
 type Config struct {
-	Period stats.Period
-	Nodes  int
+	Period stats.Period // the window downtime is measured over
+	Nodes  int          // fleet size, the availability denominator
 	// ErrorCount is the total coalesced GPU error count over the period,
 	// used for the conservative MTTF estimate.
 	ErrorCount int
 	// HistMaxHours and HistBuckets shape the Figure 2 histogram.
 	HistMaxHours float64
-	HistBuckets  int
+	HistBuckets  int // see HistMaxHours
 }
 
 // DefaultConfig returns the paper's analysis settings.
@@ -61,9 +61,9 @@ func DefaultConfig(period stats.Period, nodes, errorCount int) Config {
 
 // NodeAvailability is one node's availability over the period.
 type NodeAvailability struct {
-	Node         string
-	DownHours    float64
-	Availability float64
+	Node         string  // fleet node name
+	DownHours    float64 // total unavailability over the period
+	Availability float64 // 1 - DownHours / period hours
 }
 
 // PerNode computes per-node availability from per-node downtime totals.

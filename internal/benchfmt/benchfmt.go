@@ -25,17 +25,17 @@ import (
 // Result is one benchmark's aggregated metrics. Zero-valued metrics were
 // absent from the run (e.g. no -benchmem, no SetBytes).
 type Result struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerS      float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string  `json:"name"`                    // benchmark name, GOMAXPROCS suffix stripped
+	Runs        int     `json:"runs"`                    // b.N iterations aggregated across lines
+	NsPerOp     float64 `json:"ns_per_op"`               // mean wall time per operation
+	MBPerS      float64 `json:"mb_per_s,omitempty"`      // throughput when SetBytes was used
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`  // heap bytes per op (-benchmem)
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"` // heap allocations per op (-benchmem)
 }
 
 // Set is a parsed benchmark run, ordered by first appearance.
 type Set struct {
-	Benchmarks []Result `json:"benchmarks"`
+	Benchmarks []Result `json:"benchmarks"` // in first-appearance order
 }
 
 // gomaxprocsSuffix is the "-N" GOMAXPROCS tag the testing package appends to
@@ -141,11 +141,11 @@ func (s *Set) Lookup(name string) (Result, bool) {
 // current/base; a ratio is 1 when the base metric is 0 and the current
 // metric is too, and +Inf when only the base is 0.
 type Delta struct {
-	Name       string
-	Base, Cur  Result
-	TimeRatio  float64
-	AllocRatio float64
-	BytesRatio float64
+	Name       string  // benchmark name shared by both runs
+	Base, Cur  Result  // the two runs being compared
+	TimeRatio  float64 // Cur.NsPerOp / Base.NsPerOp
+	AllocRatio float64 // Cur.AllocsPerOp / Base.AllocsPerOp
+	BytesRatio float64 // Cur.BytesPerOp / Base.BytesPerOp
 	// Violation names the gate the delta tripped, empty when within bounds.
 	Violation string
 }

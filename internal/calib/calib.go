@@ -63,8 +63,8 @@ func Full() stats.Period {
 // Scenario bundles the calibrated cluster configuration with the scale it
 // was built at.
 type Scenario struct {
-	Scale   float64
-	Cluster cluster.Config
+	Scale   float64        // fleet-size multiplier relative to Delta
+	Cluster cluster.Config // the fully-parameterized simulation
 }
 
 // memPreOp returns the healthy-device memory cascade for the
@@ -261,16 +261,16 @@ func (s Scenario) RateMode(seed uint64) Scenario {
 
 // TableICell is one published Table I row/period cell.
 type TableICell struct {
-	Count          int
+	Count          int     // published error count
 	SystemMTBEHrs  float64 // 0 = "-" in the paper
-	PerNodeMTBEHrs float64
+	PerNodeMTBEHrs float64 // published per-node MTBE in hours
 }
 
 // TableIExpected is one published Table I row.
 type TableIExpected struct {
-	Group xid.Group
-	PreOp TableICell
-	Op    TableICell
+	Group xid.Group  // the Xid group the row aggregates
+	PreOp TableICell // published pre-operational cell
+	Op    TableICell // published operational cell
 }
 
 // PaperTableI returns the published Table I values.
@@ -292,10 +292,10 @@ func PaperTableI() []TableIExpected {
 
 // TableIIExpected is one published Table II row.
 type TableIIExpected struct {
-	Code        xid.Code
-	GPUFailed   int
-	Encounters  int
-	FailureProb float64 // percent
+	Code        xid.Code // the correlated Xid
+	GPUFailed   int      // published GPU-failed job count
+	Encounters  int      // published encountering job count
+	FailureProb float64  // percent
 }
 
 // PaperTableII returns the published Table II values.

@@ -50,7 +50,7 @@ func YoungDaly(cost, mtbf time.Duration) (time.Duration, error) {
 
 // Outcome summarizes a policy evaluation over a job population.
 type Outcome struct {
-	Policy Policy
+	Policy Policy // the checkpoint interval policy evaluated
 	// JobsAnalyzed counts started terminal jobs.
 	JobsAnalyzed int
 	// GPUFailedJobs counts jobs killed by GPU/node failures (NODE_FAIL).

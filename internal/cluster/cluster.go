@@ -74,37 +74,41 @@ type FaultyGPUScenario struct {
 	GPU  int // device index on the node
 	// UncorrectableRoots are injected between RootsStart and BurstStart.
 	UncorrectableRoots int
-	RootsStart         time.Time
+	RootsStart         time.Time // see UncorrectableRoots
 	// Memory overrides the device's cascade probabilities (broken remap /
 	// containment).
 	Memory gpusim.MemoryConfig
 	// Burst parameters: BurstCount repeated uncontained errors over
 	// BurstDuration starting at BurstStart, then device replacement.
 	BurstStart    time.Time
-	BurstDuration time.Duration
-	BurstCount    int
+	BurstDuration time.Duration // see BurstStart
+	BurstCount    int           // see BurstStart
 }
 
 // Config assembles a simulation.
 type Config struct {
-	Seed uint64
+	Seed uint64 // master PRNG seed; everything derives from it
 
 	Nodes4 int // 4-way A100 nodes (Delta: 100)
 	Nodes8 int // 8-way A100 nodes (Delta: 6)
 
+	// PreOp and Op are the simulated study periods, mirroring the
+	// pipeline's analysis windows.
 	PreOp stats.Period
-	Op    stats.Period
+	Op    stats.Period // see PreOp
 
 	// GPUPreOp/GPUOp carry the device-model parameters per period (memory
 	// cascade probabilities differ between periods in the field data).
 	GPUPreOp gpusim.Config
-	GPUOp    gpusim.Config
+	GPUOp    gpusim.Config // see GPUPreOp
 
-	Node  nodesim.Config
-	Sched slurmsim.Config
+	Node  nodesim.Config  // drain/reboot/swap downtime model
+	Sched slurmsim.Config // synthetic Slurm scheduler settings
 
+	// PreOpFaults and OpFaults plan the per-period background fault
+	// processes (rates, spatial placement, burstiness).
 	PreOpFaults []faults.ProcessSpec
-	OpFaults    []faults.ProcessSpec
+	OpFaults    []faults.ProcessSpec // see PreOpFaults
 	// ChronicNodes is the size of the error-prone node set.
 	ChronicNodes int
 
@@ -117,12 +121,14 @@ type Config struct {
 	// episodes run through the same impact rules as planned ones.
 	Inject []faults.Episode
 
+	// Rules maps each fault kind to its node/job impact behavior;
+	// DefaultImpactRules covers every kind.
 	Rules map[faults.Kind]ImpactRule
 
 	// PMUPropagateProb is the probability a PMU SPI failure propagates to
 	// an MMU error PMUPropagateDelay later on the same device.
 	PMUPropagateProb  float64
-	PMUPropagateDelay time.Duration
+	PMUPropagateDelay time.Duration // see PMUPropagateProb
 
 	// GSPTimeoutProb is the probability a non-leading storm error logs as
 	// XID 119 rather than 120 (the first error of a storm is always 119).
@@ -151,6 +157,8 @@ type Config struct {
 	// job-free simulation (error statistics only).
 	Workload *workload.Config
 
+	// FaultyGPU layers the single chronically-faulty device scenario
+	// (the paper's 38,900-error GPU) on the simulation; nil disables it.
 	FaultyGPU *FaultyGPUScenario
 
 	// HealthCheck enables the SRE health-check monitor that proactively
@@ -192,7 +200,7 @@ func (c Config) validate() error {
 
 // NodeDowntime tags a downtime interval with its node.
 type NodeDowntime struct {
-	Node string
+	Node string // fleet node name, e.g. "node-017"
 	nodesim.Downtime
 }
 

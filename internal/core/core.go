@@ -40,8 +40,10 @@ type PipelineConfig struct {
 	CoalesceWindow time.Duration
 	// AttributionWindow is Stage III's job-failure window.
 	AttributionWindow time.Duration
-	PreOp             stats.Period
-	Op                stats.Period
+	// PreOp and Op bound the paper's pre-operational and operational
+	// study periods; every table is computed per period.
+	PreOp stats.Period
+	Op    stats.Period // see PreOp
 	// Nodes is the per-node MTBE multiplier (106 on Delta).
 	Nodes int
 	// OutlierStreamFraction marks a (node, GPU, code) stream as an outlier
@@ -111,22 +113,22 @@ func (c PipelineConfig) validate() error {
 
 // TableIRow is one computed Table I row.
 type TableIRow struct {
-	Group    xid.Group
-	Category xid.Category
-	PreOp    Cell
-	Op       Cell
+	Group    xid.Group    // the Xid group the row aggregates
+	Category xid.Category // the paper's coarse error category
+	PreOp    Cell         // pre-operational period count + MTBE
+	Op       Cell         // operational period count + MTBE
 }
 
 // Cell is one count + MTBE cell. MTBE fields are zero when Count is zero
 // (rendered as "-").
 type Cell struct {
-	Count int
-	MTBE  stats.MTBE
+	Count int        // coalesced errors in the period
+	MTBE  stats.MTBE // mean time between errors over the period
 }
 
 // PeriodSummary aggregates one period.
 type PeriodSummary struct {
-	Period stats.Period
+	Period stats.Period // the period the summary covers
 	// Total counts every Table I row (including the derived uncorrectable
 	// ECC row, matching the paper's 42,405 / 14,821 totals).
 	Total int
@@ -137,31 +139,31 @@ type PeriodSummary struct {
 	// MemoryPerNodeMTBE and HardwarePerNodeMTBE drive finding (ii); the
 	// hardware figure includes the interconnect, as the paper's 160x does.
 	MemoryPerNodeMTBE   float64
-	HardwarePerNodeMTBE float64
+	HardwarePerNodeMTBE float64 // see MemoryPerNodeMTBE
 	// OutlierErrors is how many errors outlier streams contributed.
 	OutlierErrors int
 }
 
 // Results is the full pipeline output.
 type Results struct {
-	Extract syslog.ExtractStats
+	Extract syslog.ExtractStats // Stage I line/match/skip counts
 	// Ingestion is the structured Stage I report of a lenient run: lines
 	// scanned, per-category corrupt-line counts, quarantine samples, and
 	// budget status. Nil on strict (default) runs.
 	Ingestion *syslog.IngestionReport
 	// RawEvents and CoalescedEvents count Stage II input/output.
 	RawEvents       int
-	CoalescedEvents int
+	CoalescedEvents int // see RawEvents
 
-	TableI     []TableIRow
-	PreSummary PeriodSummary
-	OpSummary  PeriodSummary
+	TableI     []TableIRow   // per-group error counts and MTBE (paper Table I)
+	PreSummary PeriodSummary // pre-operational period totals
+	OpSummary  PeriodSummary // operational period totals
 
-	TableII  impact.Correlation
-	TableIII []impact.TableIIIRow
-	JobStats impact.JobStats
+	TableII  impact.Correlation   // Xid-to-job-failure correlation (paper Table II)
+	TableIII []impact.TableIIIRow // downtime-bucket impact rows (paper Table III)
+	JobStats impact.JobStats      // GPU/CPU job success-rate comparison
 
-	Avail avail.Analysis
+	Avail avail.Analysis // node availability and downtime distribution
 
 	// Shards records the per-file provenance of a sharded multi-file run
 	// (AnalyzeLogFiles): each input's content digest, event count, and
@@ -602,8 +604,8 @@ func ingestStats(rep *syslog.IngestionReport) syslog.ExtractStats {
 
 // EndToEndConfig couples a simulation with pipeline settings.
 type EndToEndConfig struct {
-	Cluster  cluster.Config
-	Pipeline PipelineConfig
+	Cluster  cluster.Config // the simulated fleet to generate logs from
+	Pipeline PipelineConfig // analysis settings applied to the emitted logs
 	// LogWriterConfig controls raw-line emission; zero value uses defaults.
 	LogWriter syslog.WriterConfig
 	// KeepRawLogs routes the raw log bytes through w when non-nil (e.g. to
@@ -617,7 +619,7 @@ type EndToEndConfig struct {
 // EndToEndResult carries the analysis plus simulation ground truth for
 // validation.
 type EndToEndResult struct {
-	Results *Results
+	Results *Results // the pipeline's analysis of the emitted logs
 	// Truth is the simulator's own event stream (pre-duplication), for
 	// validating the pipeline against ground truth.
 	Truth *cluster.Result

@@ -93,10 +93,10 @@ func InterArrivalCV(events []xid.Event) (float64, error) {
 type NodeConcentration struct {
 	Nodes      int     // distinct nodes with >= 1 error
 	Top1Share  float64 // fraction of errors on the worst node
-	Top5Share  float64
+	Top5Share  float64 // fraction of errors on the five worst nodes
 	Gini       float64 // 0 = uniform, -> 1 = concentrated
-	WorstNode  string
-	WorstCount int
+	WorstNode  string  // the node with the most errors
+	WorstCount int     // its error count
 }
 
 // ConcentrationByNode computes node-level error concentration. fleetSize is

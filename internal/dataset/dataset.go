@@ -28,17 +28,17 @@ const (
 
 // FileInfo records one artifact's size and digest.
 type FileInfo struct {
-	Bytes  int64  `json:"bytes"`
-	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`  // file size on disk
+	SHA256 string `json:"sha256"` // hex content digest
 }
 
 // Manifest describes a dataset.
 type Manifest struct {
-	FormatVersion int                 `json:"formatVersion"`
-	Seed          uint64              `json:"seed"`
-	Scale         float64             `json:"scale"`
-	Description   string              `json:"description,omitempty"`
-	Files         map[string]FileInfo `json:"files"`
+	FormatVersion int                 `json:"formatVersion"`         // manifest schema version
+	Seed          uint64              `json:"seed"`                  // simulation seed the artifacts came from
+	Scale         float64             `json:"scale"`                 // fleet-size multiplier of the run
+	Description   string              `json:"description,omitempty"` // free-form provenance note
+	Files         map[string]FileInfo `json:"files"`                 // per-artifact sizes and digests
 }
 
 // currentFormat is the manifest format this package writes.

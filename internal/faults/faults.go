@@ -69,7 +69,7 @@ func (k Kind) String() string {
 
 // ProcessSpec configures one root-cause process over one period.
 type ProcessSpec struct {
-	Kind Kind
+	Kind Kind // the root-cause process being configured
 	// Episodes is the exact number of episodes to inject (quota mode).
 	Episodes int
 	// MeanSize is the mean episode size (errors per episode, geometric,
@@ -114,11 +114,11 @@ func (p ProcessSpec) validate() error {
 
 // Episode is one planned cluster of errors on one device.
 type Episode struct {
-	Kind Kind
+	Kind Kind // the root-cause process that produced the episode
 	// Node is the target node index; GPU the device index within the node.
 	// For NVLink episodes GPU is -1: the fabric picks the link endpoints.
 	Node int
-	GPU  int
+	GPU  int // see Node
 	// Times are the error instants, ascending, all within the period.
 	Times []time.Time
 }
@@ -128,7 +128,7 @@ func (e Episode) Start() time.Time { return e.Times[0] }
 
 // Plan is a full injection schedule, episodes sorted by start time.
 type Plan struct {
-	Episodes []Episode
+	Episodes []Episode // sorted by Start
 }
 
 // TotalErrors returns the number of individual error instants in the plan.
@@ -151,8 +151,8 @@ func (p Plan) ErrorsByKind() map[Kind]int {
 
 // Topology describes the target cluster shape.
 type Topology struct {
-	Nodes       int
-	GPUsPerNode int
+	Nodes       int // fleet node count
+	GPUsPerNode int // devices per node (4 or 8 on Delta)
 	// ChronicNodes is how many nodes form the chronic (error-prone) set.
 	ChronicNodes int
 }

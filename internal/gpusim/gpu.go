@@ -19,8 +19,8 @@ import (
 
 // Config carries the per-GPU model parameters.
 type Config struct {
-	Memory MemoryConfig
-	NVLink NVLinkConfig
+	Memory MemoryConfig // HBM fault-cascade probabilities
+	NVLink NVLinkConfig // link CRC/replay/escalation model
 }
 
 // DefaultConfig returns parameters for a healthy production A100.
@@ -36,9 +36,9 @@ type GPU struct {
 	node  string
 	index int
 
-	Memory *Memory
-	GSP    *GSP
-	PMU    *PMU
+	Memory *Memory // HBM error state machine
+	GSP    *GSP    // GPU System Processor (firmware) model
+	PMU    *PMU    // power-management unit model
 
 	// failed marks a device pulled from service awaiting physical
 	// replacement.
@@ -153,7 +153,7 @@ func (g *GPU) Correctable(now time.Time, row int, rng *randx.Stream) (Uncorrecta
 // UncorrectableOutcome is the result of one uncorrectable memory fault.
 type UncorrectableOutcome struct {
 	MemOutcome
-	Events []xid.Event
+	Events []xid.Event // the XID events the fault emitted, in order
 }
 
 // MMUError emits an XID 31.

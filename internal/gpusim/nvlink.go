@@ -135,11 +135,11 @@ func linkDetail(a, b int) string {
 
 // Stats reports fabric lifetime counters.
 type FabricStats struct {
-	Faults       int
-	CRCDetected  int
-	Replays      int
-	Escalations  int
-	Propagated2P int
+	Faults       int // injected link faults
+	CRCDetected  int // faults surfacing as CRC errors (XID 57)
+	Replays      int // transparent link-replay recoveries
+	Escalations  int // faults escalated to fallen-off-the-bus (XID 79)
+	Propagated2P int // faults mirrored to the peer endpoint
 }
 
 // Stats returns lifetime counters for the fabric.

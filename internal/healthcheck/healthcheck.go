@@ -61,10 +61,10 @@ func (c Config) validate() error {
 
 // Action records one intervention the monitor took.
 type Action struct {
-	Time   time.Time
-	Node   string
-	GPU    int
-	Reason string
+	Time   time.Time // simulation instant of the intervention
+	Node   string    // node hosting the pulled device
+	GPU    int       // device index within the node
+	Reason string    // which threshold tripped, for the audit log
 }
 
 // Monitor sweeps the fleet on the simulation clock.

@@ -43,15 +43,15 @@ func DefaultConfig(period stats.Period) Config {
 
 // TableIIRow is one row of Table II.
 type TableIIRow struct {
-	Code             xid.Code
-	JobsEncountering int     // jobs that saw this XID on an allocated GPU while running
-	GPUFailedJobs    int     // of those, jobs whose failure had this XID in the attribution window
-	FailureProb      float64 // GPUFailedJobs / JobsEncountering
+	Code             xid.Code // the Xid the row correlates
+	JobsEncountering int      // jobs that saw this XID on an allocated GPU while running
+	GPUFailedJobs    int      // of those, jobs whose failure had this XID in the attribution window
+	FailureProb      float64  // GPUFailedJobs / JobsEncountering
 }
 
 // Correlation is the Stage III output.
 type Correlation struct {
-	Rows []TableIIRow
+	Rows []TableIIRow // one row per studied Xid, in code order
 	// TotalGPUFailedJobs counts distinct jobs classified GPU-failed.
 	TotalGPUFailedJobs int
 	// EncounteredAny counts distinct running jobs that saw any studied XID.
@@ -204,9 +204,9 @@ func correlateJobs(jobs []*slurmsim.Job, index map[gpuKey][]xid.Event, cfg Confi
 
 // LostComputeRow attributes destroyed GPU hours to an error type.
 type LostComputeRow struct {
-	Code         xid.Code
-	Jobs         int     // GPU-failed jobs attributed to this code
-	LostGPUHours float64 // their elapsed GPU time
+	Code         xid.Code // the attributed error code
+	Jobs         int      // GPU-failed jobs attributed to this code
+	LostGPUHours float64  // their elapsed GPU time
 }
 
 // LostCompute breaks down the GPU hours destroyed by GPU-failed jobs per
@@ -315,14 +315,14 @@ func ClassifyML(name string) bool {
 
 // TableIIIRow is one row of Table III.
 type TableIIIRow struct {
-	Bucket         string
-	Count          int
-	Pct            float64
-	MeanMin        float64
-	P50Min         float64
-	P99Min         float64
-	MLGPUHoursK    float64
-	NonMLGPUHoursK float64
+	Bucket         string  // GPU-count bucket label, e.g. "2-4"
+	Count          int     // GPU-failed jobs in the bucket
+	Pct            float64 // Count as a share of all GPU-failed jobs
+	MeanMin        float64 // mean lost minutes per failed job
+	P50Min         float64 // median lost minutes per failed job
+	P99Min         float64 // p99 lost minutes per failed job
+	MLGPUHoursK    float64 // lost GPU hours (thousands) on ML partitions
+	NonMLGPUHoursK float64 // lost GPU hours (thousands) elsewhere
 }
 
 // bucketEdges defines the Table III GPU-count buckets; bucket i covers
@@ -383,12 +383,12 @@ func TableIII(jobs []*slurmsim.Job) []TableIIIRow {
 
 // JobStats is the §V-A summary.
 type JobStats struct {
-	GPUTotal       int
-	GPUSucceeded   int
-	GPUSuccessRate float64
-	CPUTotal       int
-	CPUSucceeded   int
-	CPUSuccessRate float64
+	GPUTotal       int     // GPU jobs that ran in the period
+	GPUSucceeded   int     // of those, jobs that completed successfully
+	GPUSuccessRate float64 // GPUSucceeded / GPUTotal
+	CPUTotal       int     // CPU-only jobs that ran in the period
+	CPUSucceeded   int     // of those, jobs that completed successfully
+	CPUSuccessRate float64 // CPUSucceeded / CPUTotal
 	// Shares of started GPU jobs by GPU count, as the paper reports them.
 	ShareSingleGPU float64 // 1 GPU
 	Share2to4      float64 // 2-4 GPUs

@@ -16,9 +16,9 @@ package intern
 // one. Bytes is the total length of miss-allocated strings — the
 // allocation volume the surrounding code actually paid.
 type Stats struct {
-	Hits   int64
-	Misses int64
-	Bytes  int64
+	Hits   int64 // lookups served from the cache
+	Misses int64 // lookups that allocated a new string
+	Bytes  int64 // total length of miss-allocated strings
 }
 
 // Add accumulates o into s.

@@ -10,6 +10,11 @@ func All() []*Analyzer {
 		HotAlloc,
 		ErrWrap,
 		PoolHygiene,
+		LockGuard,
+		AtomicMix,
+		GoroutineCapture,
+		WgDiscipline,
+		ChanClose,
 		DocComment,
 	}
 }

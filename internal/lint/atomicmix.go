@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags variables and fields that are accessed through the
+// function-style sync/atomic API (atomic.AddInt64(&x.n, 1), …) in one place
+// and read or written plainly in another. Mixing the two silently forfeits
+// atomicity — the plain access races with every atomic one, and unlike a
+// missed lock it corrupts a single word, the exact shape of silent data
+// corruption the pipeline's equivalence proofs assume away. The fix is
+// uniformity: every access goes through sync/atomic, or the field migrates
+// to a typed atomic (atomic.Int64), which makes plain access unrepresentable.
+var AtomicMix = &Analyzer{
+	Name:     "atomicmix",
+	Doc:      "a variable accessed via sync/atomic must never be read or written plainly",
+	Severity: SevError,
+	Run:      runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+	// Pass 1: every ident that appears under & as the address argument of a
+	// sync/atomic call, and the variable objects those idents resolve to.
+	atomicObjs := map[types.Object]bool{}
+	atomicSites := map[*ast.Ident]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			target := atomicAddrArg(info, call)
+			if target == nil {
+				return true
+			}
+			id := terminalIdent(target)
+			if id == nil {
+				return true
+			}
+			obj := info.Uses[id]
+			if _, isVar := obj.(*types.Var); isVar {
+				atomicObjs[obj] = true
+				atomicSites[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	// Pass 2: every other use of those objects is a plain access.
+	for _, f := range p.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicObjs[obj] || atomicSites[id] {
+				return true
+			}
+			if len(stack) > 0 {
+				switch parent := stack[len(stack)-1].(type) {
+				case *ast.SelectorExpr:
+					// x.f: only the terminal Sel names the field; an ident in
+					// base position resolves to a different object anyway,
+					// and the Sel case is handled here when we reach it.
+					if parent.Sel != id {
+						return true
+					}
+				case *ast.KeyValueExpr:
+					// S{f: v} initializes memory no other goroutine can see
+					// yet; the composite-literal key is not a racy access.
+					if parent.Key == id {
+						return true
+					}
+				}
+			}
+			expr, exprStack := accessExprFor(id, stack)
+			verb := "read of"
+			if classifyAccess(expr, exprStack) == accessWrite {
+				verb = "write to"
+			}
+			p.Reportf(id.Pos(), "plain %s %s, which is accessed via sync/atomic elsewhere in this package; use atomic operations for every access or switch to a typed atomic", verb, id.Name)
+			return true
+		})
+	}
+}
+
+// atomicAddrArg returns the expression whose address is passed to a
+// sync/atomic package-level call (the x in atomic.AddInt64(&x, 1)), or nil.
+func atomicAddrArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Methods on the typed atomics (atomic.Int64 …) are the safe API;
+		// only the package-level address-taking functions can be mixed.
+		return nil
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasPrefix(name, "Add"), strings.HasPrefix(name, "Load"),
+		strings.HasPrefix(name, "Store"), strings.HasPrefix(name, "Swap"),
+		strings.HasPrefix(name, "CompareAndSwap"), strings.HasPrefix(name, "Or"),
+		strings.HasPrefix(name, "And"):
+	default:
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op.String() == "&" {
+		return addr.X
+	}
+	return nil
+}
+
+// terminalIdent returns the identifier naming the accessed variable or
+// field at the end of a selector/paren chain.
+func terminalIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// accessExprFor widens id to the selector expression it terminates (so
+// classifyAccess sees the full x.f path), returning the expression and its
+// truncated stack.
+func accessExprFor(id *ast.Ident, stack []ast.Node) (ast.Expr, []ast.Node) {
+	if len(stack) > 0 {
+		if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+			return sel, stack[:len(stack)-1]
+		}
+	}
+	return id, stack
+}

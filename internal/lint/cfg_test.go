@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+)
+
+// passThrough is the identity transfer: facts flow unchanged, so a non-nil
+// in-set marks exactly the blocks reachable from the entry.
+func passThrough(_ *cfgBlock, in factSet) factSet { return in }
+
+// TestForwardFlowMustMeet checks the intersection meet on a hand-built
+// diamond: entry(0) → {1, 2} → join(3). Block 1 gens fact "a", block 2
+// gens "b"; the join must hold neither, while a fact present on both arms
+// survives.
+func TestForwardFlowMustMeet(t *testing.T) {
+	g := newTestGraph(4)
+	connect(g, 0, 1)
+	connect(g, 0, 2)
+	connect(g, 1, 3)
+	connect(g, 2, 3)
+	transfer := func(b *cfgBlock, in factSet) factSet {
+		out := in.clone()
+		switch b.index {
+		case 1:
+			out["a"] = true
+			out["both"] = true
+		case 2:
+			out["b"] = true
+			out["both"] = true
+		}
+		return out
+	}
+	in := forwardFlow(g, factSet{"entry": true}, true, transfer)
+	join := in[g.blocks[3]]
+	if join == nil {
+		t.Fatal("join block unreachable")
+	}
+	for fact, want := range map[string]bool{"a": false, "b": false, "both": true, "entry": true} {
+		if join[fact] != want {
+			t.Errorf("must-meet join[%q] = %v, want %v (join=%v)", fact, join[fact], want, join)
+		}
+	}
+}
+
+// TestForwardFlowMayMeet checks the union meet on the same diamond: the
+// join holds everything either arm set.
+func TestForwardFlowMayMeet(t *testing.T) {
+	g := newTestGraph(4)
+	connect(g, 0, 1)
+	connect(g, 0, 2)
+	connect(g, 1, 3)
+	connect(g, 2, 3)
+	transfer := func(b *cfgBlock, in factSet) factSet {
+		out := in.clone()
+		if b.index == 1 {
+			out["a"] = true
+		}
+		return out
+	}
+	join := forwardFlow(g, factSet{}, false, transfer)[g.blocks[3]]
+	if join == nil || !join["a"] {
+		t.Errorf("may-meet join should hold the one-arm fact, got %v", join)
+	}
+}
+
+// TestForwardFlowLoopFixpoint checks convergence on a back edge: a fact
+// killed inside the loop must not survive the must-meet at the head.
+func TestForwardFlowLoopFixpoint(t *testing.T) {
+	// 0 → head(1) → body(2) → head; head → after(3)
+	g := newTestGraph(4)
+	connect(g, 0, 1)
+	connect(g, 1, 2)
+	connect(g, 2, 1)
+	connect(g, 1, 3)
+	transfer := func(b *cfgBlock, in factSet) factSet {
+		out := in.clone()
+		if b.index == 2 {
+			delete(out, "held")
+		}
+		return out
+	}
+	in := forwardFlow(g, factSet{"held": true}, true, transfer)
+	if after := in[g.blocks[3]]; after == nil || after["held"] {
+		t.Errorf("fact killed on the back edge must not reach the loop exit: %v", after)
+	}
+}
+
+// TestForwardFlowUnreachable: a block with no path from the entry keeps a
+// nil in-set.
+func TestForwardFlowUnreachable(t *testing.T) {
+	g := newTestGraph(3)
+	connect(g, 0, 1) // block 2 is an island
+	in := forwardFlow(g, factSet{}, true, passThrough)
+	if in[g.blocks[2]] != nil {
+		t.Errorf("island block should be unreachable, got %v", in[g.blocks[2]])
+	}
+}
+
+func newTestGraph(n int) *cfgGraph {
+	g := &cfgGraph{}
+	for i := 0; i < n; i++ {
+		g.blocks = append(g.blocks, &cfgBlock{index: i})
+	}
+	g.exit = g.blocks[n-1]
+	return g
+}
+
+func connect(g *cfgGraph, from, to int) {
+	g.blocks[from].succs = append(g.blocks[from].succs, g.blocks[to])
+	g.blocks[to].preds = append(g.blocks[to].preds, g.blocks[from])
+}
+
+// TestBuildCFGShapes type-checks the cfgcases fixture and asserts, per
+// function, whether the virtual exit is reachable (the function can return
+// normally) and whether its marker() probes are reachable.
+func TestBuildCFGShapes(t *testing.T) {
+	cases := map[string]struct {
+		exitReachable   bool
+		markerReachable bool
+	}{
+		"AfterReturn":  {exitReachable: true, markerReachable: false},
+		"AfterExit":    {exitReachable: true, markerReachable: false},
+		"AfterPanic":   {exitReachable: true, markerReachable: false},
+		"InfiniteLoop": {exitReachable: false, markerReachable: true},
+		"BreakOut":     {exitReachable: true, markerReachable: true},
+		"GotoForward":  {exitReachable: true, markerReachable: false},
+		"FallThrough":  {exitReachable: true, markerReachable: true},
+		"SelectShape":  {exitReachable: true, markerReachable: true},
+		"ContinueLoop": {exitReachable: true, markerReachable: true},
+	}
+	m, err := LoadDir(filepath.Join("testdata", "src", "cfgcases"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := m.Pkgs[0]
+	seen := 0
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			want, tracked := cases[fd.Name.Name]
+			if !tracked {
+				continue
+			}
+			seen++
+			g := buildCFG(fd.Body, pkg.Info)
+			in := forwardFlow(g, factSet{}, true, passThrough)
+			if got := in[g.exit] != nil; got != want.exitReachable {
+				t.Errorf("%s: exit reachable = %v, want %v", fd.Name.Name, got, want.exitReachable)
+			}
+			if got := markerReachable(g, in); got != want.markerReachable {
+				t.Errorf("%s: marker reachable = %v, want %v", fd.Name.Name, got, want.markerReachable)
+			}
+		}
+	}
+	if seen != len(cases) {
+		t.Fatalf("matched %d fixture functions, want %d", seen, len(cases))
+	}
+}
+
+// markerReachable reports whether any reachable block contains a call to
+// the fixture's marker() probe.
+func markerReachable(g *cfgGraph, in map[*cfgBlock]factSet) bool {
+	for _, b := range g.blocks {
+		if in[b] == nil {
+			continue
+		}
+		for _, n := range b.nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "marker" {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

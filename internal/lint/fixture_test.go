@@ -99,6 +99,11 @@ func TestFixtures(t *testing.T) {
 		{"hotalloc", []*Analyzer{HotAlloc}},
 		{"errwrap", []*Analyzer{ErrWrap}},
 		{"poolhygiene", []*Analyzer{PoolHygiene}},
+		{"lockguard", []*Analyzer{LockGuard}},
+		{"atomicmix", []*Analyzer{AtomicMix}},
+		{"goroutinecapture", []*Analyzer{GoroutineCapture}},
+		{"wgdiscipline", []*Analyzer{WgDiscipline}},
+		{"chanclose", []*Analyzer{ChanClose}},
 		{"doccomment", []*Analyzer{DocComment}},
 		// Directive diagnostics are produced by the framework itself, before
 		// any analyzer runs (but a valid directive must still suppress).

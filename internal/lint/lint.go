@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Severity classifies a finding. Errors gate CI; warnings are advisory.
@@ -102,13 +103,43 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // on a line covered by a matching //lint:allow directive are dropped;
 // malformed directives are themselves reported (analyzer "directive").
 func Run(m *Module, analyzers []*Analyzer) []Finding {
+	findings, _ := run(m, analyzers, false)
+	return findings
+}
+
+// AnalyzerTiming is one analyzer's wall time summed over every package of a
+// timed run.
+type AnalyzerTiming struct {
+	// Name is the analyzer the time belongs to.
+	Name string `json:"name"`
+	// Millis is the accumulated wall time in milliseconds.
+	Millis float64 `json:"ms"`
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting, returned slowest
+// first (ties broken by name). It backs `gpulint -timing`.
+func RunTimed(m *Module, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming) {
+	return run(m, analyzers, true)
+}
+
+func run(m *Module, analyzers []*Analyzer, timed bool) ([]Finding, []AnalyzerTiming) {
 	var out []Finding
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range m.Pkgs {
 		allows, directiveFindings := collectAllows(m, pkg)
 		out = append(out, directiveFindings...)
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Fset: m.Fset, Pkg: pkg, root: m.Root}
+			var start time.Time
+			if timed {
+				//lint:allow determinism intentional wall-time metering for -timing
+				start = time.Now()
+			}
 			a.Run(pass)
+			if timed {
+				//lint:allow determinism intentional wall-time metering for -timing
+				elapsed[a.Name] += time.Since(start)
+			}
 			for _, f := range pass.findings {
 				if allows.covers(a.Name, f.File, f.Line) {
 					continue
@@ -118,7 +149,23 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 		}
 	}
 	sortFindings(out)
-	return out
+	if !timed {
+		return out, nil
+	}
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{
+			Name:   a.Name,
+			Millis: float64(elapsed[a.Name]) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(timings, func(i, j int) bool {
+		if timings[i].Millis != timings[j].Millis {
+			return timings[i].Millis > timings[j].Millis
+		}
+		return timings[i].Name < timings[j].Name
+	})
+	return out, timings
 }
 
 // sortFindings orders findings for stable output.

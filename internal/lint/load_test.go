@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadDirNoGoFiles(t *testing.T) {
+	_, err := LoadDir(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "no .go files") {
+		t.Fatalf("want a no-.go-files error, got %v", err)
+	}
+}
+
+func TestLoadDirMissingDir(t *testing.T) {
+	_, err := LoadDir(filepath.Join("testdata", "src", "does-not-exist"))
+	if err == nil {
+		t.Fatal("want an error for a missing fixture directory")
+	}
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	_, err := Load(LoadConfig{Dir: "../..", Patterns: []string{"./internal/no-such-package"}})
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("want a go list failure for a missing package, got %v", err)
+	}
+}
+
+func TestGoListFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	root, err := findModuleRoot(mustAbs(t, "."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = goList(root, []string{"./does/not/exist"})
+	if err == nil || !strings.Contains(err.Error(), "lint: go list:") {
+		t.Fatalf("want the wrapped go list error, got %v", err)
+	}
+}
+
+func TestFindModuleRootMissing(t *testing.T) {
+	// A temp directory sits outside any Go module, so the walk must hit the
+	// filesystem root and fail rather than loop.
+	_, err := findModuleRoot(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "no go.mod") {
+		t.Fatalf("want a no-go.mod error, got %v", err)
+	}
+}
+
+func TestExportImporterMissingPackage(t *testing.T) {
+	imp := newExportImporter(token.NewFileSet(), nil)
+	_, err := imp.Import("fmt")
+	if err == nil || !strings.Contains(err.Error(), "no export data") {
+		t.Fatalf("want a no-export-data error, got %v", err)
+	}
+}
+
+func TestExportImporterMalformedExportData(t *testing.T) {
+	// Point the importer at a file that is not gc export data; the failure
+	// must surface as an error, not a panic or a silent nil package.
+	bad := filepath.Join(t.TempDir(), "bad.a")
+	if err := os.WriteFile(bad, []byte("this is not export data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	imp := newExportImporter(token.NewFileSet(), []listedPkg{{ImportPath: "fake/pkg", Export: bad}})
+	if _, err := imp.Import("fake/pkg"); err == nil {
+		t.Fatal("want an error importing malformed export data")
+	}
+}
+
+func TestCheckPackageTypeError(t *testing.T) {
+	fset := token.NewFileSet()
+	_, err := checkPackage(fset, "p", ".", []parseInput{
+		{path: "broken.go", src: "package p\n\nfunc f() { undefinedIdent() }\n"},
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "lint: type-checking p") {
+		t.Fatalf("want a type-checking error naming the package, got %v", err)
+	}
+}
+
+func TestCheckPackageParseError(t *testing.T) {
+	fset := token.NewFileSet()
+	_, err := checkPackage(fset, "p", ".", []parseInput{
+		{path: "broken.go", src: "package p\n\nfunc f( {\n"},
+	}, nil)
+	if err == nil {
+		t.Fatal("want a parse error for malformed source")
+	}
+}
+
+func TestOverlayImportPathsParseError(t *testing.T) {
+	_, err := overlayImportPaths(map[string]string{"x.go": "not go source"})
+	if err == nil || !strings.Contains(err.Error(), "lint: overlay") {
+		t.Fatalf("want the overlay parse error, got %v", err)
+	}
+}
+
+func TestOverlayImportPathsDedup(t *testing.T) {
+	paths, err := overlayImportPaths(map[string]string{
+		"a.go": "package p\nimport (\n\t\"fmt\"\n\t\"os\"\n)\n",
+		"b.go": "package p\nimport \"fmt\"\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fmt", "os"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", paths, want)
+		}
+	}
+}
+
+func mustAbs(t *testing.T, dir string) string {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

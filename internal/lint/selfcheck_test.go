@@ -77,3 +77,45 @@ func Stamp() time.Time {
 		t.Fatalf("unexpected finding for the injected wall-clock read: %+v", injected[0])
 	}
 }
+
+// TestInjectedUnguardedAccessIsCaught proves the lockguard gate bites on
+// the real annotations: a method reading Engine.pending without e.mu,
+// planted via overlay into internal/stream — the package whose `// guarded
+// by mu` fields protect the watermark state machine — must surface as
+// exactly one lockguard finding.
+func TestInjectedUnguardedAccessIsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks internal/stream; skipped in -short")
+	}
+	const inject = `package stream
+
+// PeekPending deliberately reads a guarded field without taking e.mu so
+// the self-test can prove the lockguard analyzer would gate it.
+func (e *Engine) PeekPending() int {
+	return len(e.pending)
+}
+`
+	m, err := Load(LoadConfig{
+		Dir:      "../..",
+		Patterns: []string{"./internal/stream"},
+		Overlay:  map[string]string{"internal/stream/zz_lockguard_inject.go": inject},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(m, []*Analyzer{LockGuard})
+	var injected []Finding
+	for _, f := range findings {
+		if f.File == "internal/stream/zz_lockguard_inject.go" {
+			injected = append(injected, f)
+		} else {
+			t.Errorf("unexpected finding outside the injected file: %+v", f)
+		}
+	}
+	if len(injected) != 1 {
+		t.Fatalf("want exactly 1 finding in the injected file, got %d: %+v", len(injected), injected)
+	}
+	if !strings.Contains(injected[0].Message, "unguarded read of pending") || injected[0].Analyzer != "lockguard" {
+		t.Fatalf("unexpected finding for the injected unguarded access: %+v", injected[0])
+	}
+}

@@ -1,0 +1,66 @@
+// Package atomicmix exercises the atomic/plain access-mixing analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+// Hits counts requests; every access must go through sync/atomic.
+type Hits struct {
+	n     int64
+	other int64
+}
+
+// Inc adds atomically.
+func (h *Hits) Inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+// Read loads atomically.
+func (h *Hits) Read() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+// MixedRead reads the atomically-updated field plainly.
+func (h *Hits) MixedRead() int64 {
+	return h.n // want `plain read of n, which is accessed via sync/atomic elsewhere`
+}
+
+// MixedWrite resets the field plainly.
+func (h *Hits) MixedWrite() {
+	h.n = 0 // want `plain write to n, which is accessed via sync/atomic elsewhere`
+}
+
+// PlainOnly touches a field that is never accessed atomically; fine.
+func (h *Hits) PlainOnly() int64 {
+	h.other++
+	return h.other
+}
+
+// NewHits constructs through a composite literal; initialization keys are
+// not accesses.
+func NewHits() *Hits {
+	return &Hits{n: 0}
+}
+
+var total int64
+
+// Bump swaps the package counter atomically.
+func Bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+// Drain mixes a plain read-modify-write on the package counter.
+func Drain() int64 {
+	v := total // want `plain read of total, which is accessed via sync/atomic elsewhere`
+	total = 0  // want `plain write to total, which is accessed via sync/atomic elsewhere`
+	return v
+}
+
+// Typed uses the typed atomic API, which cannot be mixed; never flagged.
+type Typed struct {
+	v atomic.Int64
+}
+
+// Get loads through the typed field.
+func (t *Typed) Get() int64 {
+	return t.v.Load()
+}

@@ -1,0 +1,85 @@
+// Package cfgcases gives the CFG builder known control-flow shapes; the
+// engine tests assert which statements stay reachable and whether each
+// function can return normally. marker() calls are the probes.
+package cfgcases
+
+import "os"
+
+func marker() {}
+
+// AfterReturn has dead code behind an unconditional return.
+func AfterReturn() {
+	return
+	marker()
+}
+
+// AfterExit has dead code behind os.Exit.
+func AfterExit(b bool) {
+	if b {
+		os.Exit(2)
+		marker()
+	}
+}
+
+// AfterPanic can still return when b holds.
+func AfterPanic(b bool) {
+	if !b {
+		panic("no")
+		marker()
+	}
+}
+
+// InfiniteLoop never returns; its body stays reachable.
+func InfiniteLoop() {
+	for {
+		marker()
+	}
+}
+
+// BreakOut escapes the loop and reaches the tail.
+func BreakOut(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+	}
+	marker()
+}
+
+// GotoForward jumps over dead code to a labeled return.
+func GotoForward() {
+	goto done
+	marker()
+done:
+	return
+}
+
+// FallThrough chains case 0 into case 1.
+func FallThrough(n int) {
+	switch n {
+	case 0:
+		fallthrough
+	case 1:
+		marker()
+	}
+}
+
+// SelectShape reaches the tail through every comm clause.
+func SelectShape(a, b chan int) {
+	select {
+	case <-a:
+	case v := <-b:
+		_ = v
+	}
+	marker()
+}
+
+// ContinueLoop keeps the loop turning; the tail is still reachable.
+func ContinueLoop(n int) {
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		marker()
+	}
+}

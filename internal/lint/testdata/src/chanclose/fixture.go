@@ -1,0 +1,67 @@
+// Package chanclose exercises the channel close-discipline analyzer.
+package chanclose
+
+import "gpuresilience/internal/parallel"
+
+// OwnerCloses is the disciplined shape: the producing goroutine closes
+// once, after its last send.
+func OwnerCloses(n int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// SendAfterClose sends on a channel that may already be closed.
+func SendAfterClose(ch chan int, b bool) {
+	if b {
+		close(ch)
+	}
+	ch <- 1 // want `send on ch may follow its close`
+}
+
+// DoubleClose reaches a second close along the b path.
+func DoubleClose(ch chan int, b bool) {
+	if b {
+		close(ch)
+	}
+	close(ch) // want `ch may already be closed here`
+}
+
+// CloseInLoop closes once per iteration.
+func CloseInLoop(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		close(ch) // want `ch may already be closed here`
+	}
+}
+
+// SpawnAfterClose hands a closed channel to a goroutine; the close
+// happened-before the spawn, so the send inside may panic.
+func SpawnAfterClose(ch chan int) {
+	close(ch)
+	go func() {
+		ch <- 1 // want `send on ch may follow its close`
+	}()
+}
+
+// WorkerClose closes the shared output from every pool worker.
+func WorkerClose(items []int, out chan int) error {
+	return parallel.ForEach(len(items), 4, func(i int) error {
+		out <- items[i]
+		close(out) // want `close\(out\) inside a pool worker: every worker runs this closure`
+		return nil
+	})
+}
+
+// LoopSpawnClose closes from each iteration's goroutine.
+func LoopSpawnClose(n int, done chan struct{}) {
+	for i := 0; i < n; i++ {
+		go func() {
+			close(done) // want `close\(done\) inside a goroutine spawned in a loop`
+		}()
+	}
+}

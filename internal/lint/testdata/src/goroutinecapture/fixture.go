@@ -1,0 +1,69 @@
+// Package goroutinecapture exercises the closure-capture race analyzer.
+package goroutinecapture
+
+import "sync"
+
+// WriteAfterSpawn mutates a captured local the goroutine is still reading.
+func WriteAfterSpawn() {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		_ = x
+		close(done)
+	}()
+	x = 1 // want `local x is written here while the goroutine spawned at line \d+ may still be using it`
+	<-done
+}
+
+// ReadRacesGoroutineWrite reads a result the goroutine writes, with no join.
+func ReadRacesGoroutineWrite() int {
+	var res int
+	go func() {
+		res = 42
+	}()
+	return res // want `local res is read here while the goroutine spawned at line \d+ may still be using it`
+}
+
+// JoinedIsFine orders the final access after wg.Wait.
+func JoinedIsFine() int {
+	var wg sync.WaitGroup
+	x := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x = 1
+	}()
+	wg.Wait()
+	x++
+	return x
+}
+
+// PerIteration captures the per-iteration loop variable; safe since Go 1.22.
+func PerIteration(items []int) {
+	for _, it := range items {
+		go func() {
+			_ = it
+		}()
+	}
+}
+
+// SharedSlot reuses one variable across iterations: each write races with
+// the goroutines of earlier iterations.
+func SharedSlot(items []int) {
+	var cur int
+	for _, it := range items {
+		cur = it // want `local cur is written here while the goroutine spawned at line \d+ may still be using it`
+		go func() {
+			_ = cur
+		}()
+	}
+}
+
+// ReadOnlyShare hands a local to the goroutine and never touches it again;
+// a read-only share is not a race.
+func ReadOnlyShare() {
+	msg := "hello"
+	go func() {
+		_ = msg
+	}()
+}

@@ -1,0 +1,125 @@
+// Package lockguard exercises the guarded-field lock-discipline analyzer.
+package lockguard
+
+import "sync"
+
+// Counter is a mutex-guarded pair of fields.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by mu
+}
+
+// Good locks around every access, with the deferred-unlock idiom.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m = c.n
+	return c.n
+}
+
+// BadWrite writes without the lock.
+func (c *Counter) BadWrite() {
+	c.n++ // want `unguarded write to n: mu\.Lock is not held on every path`
+}
+
+// BadRead reads without the lock.
+func (c *Counter) BadRead() int {
+	return c.n // want `unguarded read of n: mu\.Lock or mu\.RLock must be held`
+}
+
+// BranchySkip locks on only one path; the access joins both.
+func (c *Counter) BranchySkip(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `unguarded write to n`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// AfterUnlock releases the lock and keeps going.
+func (c *Counter) AfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `unguarded read of n`
+}
+
+// bump assumes the lock is already held. Caller holds c.mu.
+func bump(c *Counter) {
+	c.n++
+}
+
+// NewCounter fills in a fresh allocation no other goroutine can see yet.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	c.m = 2
+	return c
+}
+
+// SpawnLoses starts a goroutine that does not inherit the spawner's lock.
+func (c *Counter) SpawnLoses() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `unguarded write to n`
+	}()
+}
+
+// DeferredInherits runs at return time with whatever the function still
+// holds — here the lock is held for the whole function.
+func (c *Counter) DeferredInherits() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer func() {
+		c.n++
+	}()
+	c.n++
+}
+
+// Allowed documents an out-of-band reason the access is safe.
+func (c *Counter) Allowed() int {
+	//lint:allow lockguard constructor-time access before the value is shared
+	return c.n
+}
+
+// Stat is an RWMutex-guarded value.
+type Stat struct {
+	rw  sync.RWMutex
+	val int // guarded by rw
+}
+
+// ReadOK reads under the read lock.
+func (s *Stat) ReadOK() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.val
+}
+
+// WriteUnderRead mutates with only the read lock held.
+func (s *Stat) WriteUnderRead() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.val++ // want `write to val while holding only the read lock`
+}
+
+// LocalGuard guards a function-local accumulator.
+func LocalGuard() int {
+	var mu sync.Mutex
+	var total int // guarded by mu
+	mu.Lock()
+	total++
+	mu.Unlock()
+	return total // want `unguarded read of total`
+}
+
+// BadAnnotation names a guard that does not exist.
+type BadAnnotation struct {
+	count int // guarded by nosuchmu
+}
+
+// want-3 `guarded-by annotation on count names nosuchmu, which is not a field of this struct`

@@ -1,0 +1,78 @@
+// Package wgdiscipline exercises the WaitGroup protocol analyzer.
+package wgdiscipline
+
+import "sync"
+
+// Disciplined is the canonical shape: Add before the spawn, Done deferred
+// before any branch.
+func Disciplined(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// AddInside registers with the group from inside the goroutine — Wait can
+// return before the goroutine has counted itself.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `WaitGroup\.Add inside the spawned goroutine races with the spawner's Wait`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// DoneConditional skips Done on the early-return path, deadlocking Wait.
+func DoneConditional(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if fail {
+			return
+		}
+		wg.Done() // want `WaitGroup\.Done is skipped on some path through this goroutine`
+	}()
+	wg.Wait()
+}
+
+// DoneEveryBranch reaches Done on every path without defer; accepted.
+func DoneEveryBranch(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if fail {
+			wg.Done()
+			return
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// OwnGroup manages a nested group inside the goroutine; its Add is that
+// goroutine's own affair, not a race with the outer Wait.
+func OwnGroup() {
+	var outer sync.WaitGroup
+	outer.Add(1)
+	go func() {
+		defer outer.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			work()
+		}()
+		inner.Wait()
+	}()
+	outer.Wait()
+}
+
+func work() {}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WgDiscipline enforces the two WaitGroup rules the race detector only
+// catches on an unlucky interleaving. First, Add must happen in the
+// spawning goroutine before the spawn: an Add inside the spawned closure
+// races with the spawner's Wait, which can return before the goroutine has
+// registered itself (flagged when the spawning function Waits on the same
+// WaitGroup — a closure managing its own nested group is fine). Second, a
+// goroutine that calls Done must reach it on every path to return —
+// i.e. `defer wg.Done()` before any branch — or an early return leaves
+// Wait blocked forever; proven by a must-dataflow over the closure's CFG.
+var WgDiscipline = &Analyzer{
+	Name:     "wgdiscipline",
+	Doc:      "WaitGroup.Add belongs before the spawn; Done must be reached on every path",
+	Severity: SevError,
+	Run:      runWgDiscipline,
+}
+
+func runWgDiscipline(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkWgBody(p, fd.Body)
+			}
+		}
+	}
+}
+
+// checkWgBody examines one function body's spawned closures and recurses
+// into every nested closure.
+func checkWgBody(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	closures := flowWalk(info, body, factSet{}, true, nil)
+	for _, fc := range closures {
+		if !fc.spawnedGo && !fc.spawnedPool {
+			continue
+		}
+		// Waits performed outside this goroutine — a Wait inside it (on a
+		// WaitGroup the goroutine owns) is its own nested affair.
+		waitKeys := wgCallKeys(info, body, "Wait", fc.lit)
+		checkSpawnedAdds(p, fc.lit, waitKeys)
+		checkDoneEveryPath(p, fc.lit)
+	}
+	for _, fc := range closures {
+		checkWgBody(p, fc.lit.Body)
+	}
+}
+
+// wgCallKeys collects the receiver keys of every WaitGroup.<method> call
+// under root, skipping the subtree rooted at except.
+func wgCallKeys(info *types.Info, root ast.Node, method string, except ast.Node) map[string]bool {
+	keys := map[string]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == except {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, key, isSync := syncMethod(info, call); isSync && name == method && key != "" {
+				keys[key] = true
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// checkSpawnedAdds reports Add calls inside a spawned closure when the
+// spawning function Waits on the same WaitGroup.
+func checkSpawnedAdds(p *Pass, lit *ast.FuncLit, waitKeys map[string]bool) {
+	info := p.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, key, isSync := syncMethod(info, call)
+		if isSync && name == "Add" && waitKeys[key] {
+			p.Reportf(call.Pos(), "WaitGroup.Add inside the spawned goroutine races with the spawner's Wait; call Add before the spawn")
+		}
+		return true
+	})
+}
+
+// checkDoneEveryPath verifies that a spawned closure which calls
+// WaitGroup.Done reaches that Done on every path to return. The
+// must-dataflow treats `defer wg.Done()` as establishing the fact at the
+// defer statement, so the fix — defer before any branch — satisfies the
+// check; a conditional or post-early-return Done does not.
+func checkDoneEveryPath(p *Pass, lit *ast.FuncLit) {
+	info := p.Pkg.Info
+	// Done calls issued directly by this closure (not by nested closures,
+	// which are someone else's goroutine body).
+	donePos := map[string]token.Pos{}
+	inspectWithStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, key, isSync := syncMethod(info, call); isSync && name == "Done" && key != "" {
+			if _, seen := donePos[key]; !seen {
+				donePos[key] = call.Pos()
+			}
+		}
+		return true
+	})
+	if len(donePos) == 0 {
+		return
+	}
+	g := buildCFG(lit.Body, info)
+	exitFacts := forwardFlow(g, factSet{}, true, syncTransfer(info))[g.exit]
+	if exitFacts == nil {
+		// No path returns normally (infinite loop / unconditional panic).
+		return
+	}
+	for key, pos := range donePos {
+		if !exitFacts["done:"+key] {
+			p.Reportf(pos, "WaitGroup.Done is skipped on some path through this goroutine, deadlocking Wait; defer it before any branch")
+		}
+	}
+}

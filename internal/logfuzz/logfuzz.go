@@ -130,7 +130,7 @@ func (c Config) withDefaults() Config {
 // Range is a damaged byte range of the original input.
 type Range struct {
 	Off int // byte offset into the original input
-	Len int
+	Len int // damaged length in bytes
 }
 
 // Report records exactly what the injector did.

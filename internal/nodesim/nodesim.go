@@ -49,12 +49,12 @@ type Config struct {
 	// DrainMean/DrainMedian parameterize the drain phase (waiting out or
 	// clearing active work before reboot).
 	DrainMean   time.Duration
-	DrainMedian time.Duration
+	DrainMedian time.Duration // see DrainMean
 
 	// RebootMean/RebootMedian parameterize the reboot + post-reboot health
 	// check phase.
 	RebootMean   time.Duration
-	RebootMedian time.Duration
+	RebootMedian time.Duration // see RebootMean
 
 	// HealthCheckFailProb is the probability the post-reboot health check
 	// fails, leaving the node Failed until a hardware swap completes.
@@ -63,7 +63,7 @@ type Config struct {
 	// SwapMean/SwapMedian parameterize the GPU hardware swap performed when
 	// the health check fails.
 	SwapMean   time.Duration
-	SwapMedian time.Duration
+	SwapMedian time.Duration // see SwapMean
 }
 
 // DefaultConfig returns recovery timing calibrated so the overall mean
@@ -102,9 +102,9 @@ func (c Config) validate() error {
 
 // Downtime is one recorded unavailability interval.
 type Downtime struct {
-	Start  time.Time
-	End    time.Time
-	Reason string
+	Start  time.Time // when the node left service
+	End    time.Time // when it returned
+	Reason string    // what pulled it, e.g. "xid79"
 	// Swapped reports the interval included a GPU hardware swap.
 	Swapped bool
 }

@@ -28,11 +28,11 @@ import (
 // instruments whose methods no-op.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	spans    map[string]*Span
-	start    time.Time
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	spans    map[string]*Span      // guarded by mu
+	start    time.Time             // immutable after New
 }
 
 // New returns an empty, enabled registry.
@@ -173,9 +173,9 @@ var histBuckets = func() []time.Duration {
 // scrape loop observes in practice.)
 type Histogram struct {
 	mu       sync.Mutex
-	counts   []int64 // len(histBuckets)+1, last is overflow
-	total    int64
-	sumNanos int64
+	counts   []int64 // guarded by mu; len(histBuckets)+1, last is overflow
+	total    int64   // guarded by mu
+	sumNanos int64   // guarded by mu
 }
 
 func newHistogram() *Histogram {

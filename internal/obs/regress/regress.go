@@ -30,10 +30,10 @@ import (
 // SpanTotals is the deterministic slice of a span snapshot: item counts
 // and bytes, never wall time or utilization.
 type SpanTotals struct {
-	Name  string `json:"name"`
-	In    int64  `json:"in"`
-	Out   int64  `json:"out"`
-	Bytes int64  `json:"bytes,omitempty"`
+	Name  string `json:"name"`            // span name, e.g. "pipeline.stage2"
+	In    int64  `json:"in"`              // items entering the span
+	Out   int64  `json:"out"`             // items leaving the span
+	Bytes int64  `json:"bytes,omitempty"` // bytes processed, when tracked
 }
 
 // Baseline freezes everything about a pinned run that must never drift
@@ -41,13 +41,13 @@ type SpanTotals struct {
 // paper tables exactly as the report package renders them, and the
 // deterministic pipeline/simulator metrics.
 type Baseline struct {
-	Manifest *obs.RunManifest `json:"manifest"`
-	TableI   string           `json:"tableI"`
-	TableII  string           `json:"tableII"`
-	TableIII string           `json:"tableIII"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
-	Spans    []SpanTotals     `json:"spans,omitempty"`
+	Manifest *obs.RunManifest `json:"manifest"`           // provenance of the pinned run
+	TableI   string           `json:"tableI"`             // rendered Table I, byte-exact
+	TableII  string           `json:"tableII"`            // rendered Table II, byte-exact
+	TableIII string           `json:"tableIII"`           // rendered Table III, byte-exact
+	Counters map[string]int64 `json:"counters,omitempty"` // deterministic counter values
+	Gauges   map[string]int64 `json:"gauges,omitempty"`   // deterministic gauge values
+	Spans    []SpanTotals     `json:"spans,omitempty"`    // deterministic span totals
 }
 
 // Run executes the instrumented end-to-end pipeline at the given pin and

@@ -22,10 +22,10 @@ type Span struct {
 	hist *Histogram
 
 	mu      sync.Mutex
-	end     time.Time // zero while running
-	workers int       // configured worker count, 0 when unset
-	busy    map[int]time.Duration
-	items   map[int]int64
+	end     time.Time             // guarded by mu; zero while running
+	workers int                   // guarded by mu; configured worker count, 0 when unset
+	busy    map[int]time.Duration // guarded by mu
+	items   map[int]int64         // guarded by mu
 }
 
 // AddIn counts n items entering the stage.

@@ -67,8 +67,8 @@ func ForEachMeter(n, workers int, meter WorkerMeter, fn func(i int) error) error
 		next   atomic.Int64
 		failed atomic.Bool
 		mu     sync.Mutex
-		errIdx = n
-		first  error
+		errIdx = n   // guarded by mu
+		first  error // guarded by mu; wg.Wait() orders the final read
 		wg     sync.WaitGroup
 	)
 	next.Store(-1)
@@ -94,6 +94,7 @@ func ForEachMeter(n, workers int, meter WorkerMeter, fn func(i int) error) error
 		}(w)
 	}
 	wg.Wait()
+	//lint:allow lockguard wg.Wait() above happens-after every worker's mu-guarded write
 	return first
 }
 

@@ -17,16 +17,16 @@ import (
 
 // ExtensionsInput carries the raw material the extension analyses need.
 type ExtensionsInput struct {
-	Events    []xid.Event // coalesced error stream
-	Jobs      []*slurmsim.Job
-	Period    stats.Period // analysis period (operational)
-	FleetSize int          // node count
+	Events    []xid.Event     // coalesced error stream
+	Jobs      []*slurmsim.Job // accounting records for the checkpoint what-if
+	Period    stats.Period    // analysis period (operational)
+	FleetSize int             // node count
 	// PerNodeMTBEHours feeds the Young/Daly computation.
 	PerNodeMTBEHours float64
 	// DownHoursByNode and Fleet, when set, add the per-node availability
 	// spread (worst nodes).
 	DownHoursByNode map[string]float64
-	Fleet           []string
+	Fleet           []string // see DownHoursByNode
 }
 
 // WriteExtensions renders the beyond-the-paper analyses: Weibull fits of

@@ -130,8 +130,11 @@ func (e *Engine) RunAll() {
 // eventHeap orders by (time, priority, sequence).
 type eventHeap []*Handle
 
+// Len implements heap.Interface.
 func (h eventHeap) Len() int { return len(h) }
 
+// Less implements heap.Interface: earliest time first, ties broken by
+// priority then insertion sequence, keeping runs deterministic.
 func (h eventHeap) Less(i, j int) bool {
 	if !h[i].at.Equal(h[j].at) {
 		return h[i].at.Before(h[j].at)
@@ -142,12 +145,14 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+// Swap implements heap.Interface and keeps handle indexes current.
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
+// Push implements heap.Interface.
 func (h *eventHeap) Push(x any) {
 	ev, ok := x.(*Handle)
 	if !ok {
@@ -157,6 +162,7 @@ func (h *eventHeap) Push(x any) {
 	*h = append(*h, ev)
 }
 
+// Pop implements heap.Interface.
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -176,18 +176,18 @@ func ParsePlacement(s string) (Placement, error) {
 // database columns the study relies on (§III-A): submit/start/end times,
 // resources requested, scheduled nodes, exit status, and name.
 type Job struct {
-	ID        int
-	Name      string
-	User      string
-	Partition string
-	GPUs      int // GPUs requested
-	Submit    time.Time
-	Start     time.Time
-	End       time.Time
-	TimeLimit time.Duration
-	State     JobState
-	ExitCode  int
-	Place     Placement
+	ID        int           // accounting job ID, unique per simulation
+	Name      string        // job name, carries the workload's ML marker
+	User      string        // synthetic submitting user
+	Partition string        // Slurm partition the job ran in
+	GPUs      int           // GPUs requested
+	Submit    time.Time     // enqueue time
+	Start     time.Time     // execution start (zero if never started)
+	End       time.Time     // execution end (zero while running)
+	TimeLimit time.Duration // requested wall-time limit
+	State     JobState      // terminal accounting state
+	ExitCode  int           // process exit code as accounted
+	Place     Placement     // nodes and device indexes the job ran on
 
 	// RunDuration is the natural runtime the job needs if undisturbed, and
 	// FailNaturally + NaturalExitCode carry the workload generator's verdict
@@ -195,8 +195,8 @@ type Job struct {
 	// non-GPU failures that dominate the 25% baseline failure rate). These
 	// drive the simulation and are not part of the accounting record.
 	RunDuration     time.Duration
-	FailNaturally   bool
-	NaturalExitCode int
+	FailNaturally   bool // see RunDuration
+	NaturalExitCode int  // see RunDuration
 
 	// ML marks jobs the workload generator labeled as machine-learning
 	// (the study approximates this from job names).

@@ -9,7 +9,7 @@ import (
 
 // CI is a two-sided confidence interval.
 type CI struct {
-	Lo, Hi float64
+	Lo, Hi float64 // interval endpoints, Lo <= Hi
 	// Level is the confidence level, e.g. 0.95.
 	Level float64
 }

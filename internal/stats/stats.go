@@ -20,9 +20,9 @@ import (
 // Period is a measurement window, e.g. Delta's pre-operational or
 // operational period.
 type Period struct {
-	Name  string
-	Start time.Time
-	End   time.Time
+	Name  string    // label used in tables, e.g. "operational"
+	Start time.Time // inclusive window start
+	End   time.Time // exclusive window end
 }
 
 // Hours returns the period length in hours.
@@ -93,13 +93,13 @@ func DowntimePerDay(availability float64) time.Duration {
 // Summary captures the distribution summary used by Table III (mean, median,
 // 99th percentile) plus extremes.
 type Summary struct {
-	N    int
-	Mean float64
-	P50  float64
-	P99  float64
-	Min  float64
-	Max  float64
-	Sum  float64
+	N    int     // sample count
+	Mean float64 // arithmetic mean
+	P50  float64 // median
+	P99  float64 // 99th percentile
+	Min  float64 // smallest sample
+	Max  float64 // largest sample
+	Sum  float64 // total of all samples
 }
 
 // Summarize computes a Summary of xs. It returns a zero Summary for empty
@@ -152,11 +152,11 @@ func Percentile(sorted []float64, p float64) float64 {
 // Histogram is a fixed-bucket histogram over [Min, Max) with overflow and
 // underflow buckets, used to render Figure 2.
 type Histogram struct {
-	Min, Max   float64
-	Counts     []int
-	Underflow  int
-	Overflow   int
-	TotalCount int
+	Min, Max   float64 // bucketed range; values land in [Min, Max)
+	Counts     []int   // per-bucket counts, evenly spanning [Min, Max)
+	Underflow  int     // samples below Min
+	Overflow   int     // samples at or above Max
+	TotalCount int     // all samples, including under/overflow
 }
 
 // NewHistogram returns a histogram with n buckets spanning [min, max).

@@ -20,22 +20,22 @@ import (
 // goroutine calling Status/Results.
 type Engine struct {
 	mu  sync.Mutex
-	cfg Config
+	cfg Config // immutable after New/Resume; read outside the lock
 
-	co      *coalesce.Coalescer
-	pending []xid.Event // arrival order, all newer than the watermark
-	sealed  []xid.Event // coalesced events, canonical Stage II order
+	co      *coalesce.Coalescer // guarded by mu
+	pending []xid.Event         // guarded by mu; arrival order, all newer than the watermark
+	sealed  []xid.Event         // guarded by mu; coalesced events, canonical Stage II order
 
-	sealedRaw    int // events sealed into Stage II, pre-coalescing
-	watermark    time.Time
-	hasWatermark bool
-	maxEvent     time.Time
-	hasMaxEvent  bool
+	sealedRaw    int       // guarded by mu; events sealed into Stage II, pre-coalescing
+	watermark    time.Time // guarded by mu
+	hasWatermark bool      // guarded by mu
+	maxEvent     time.Time // guarded by mu
+	hasMaxEvent  bool      // guarded by mu
 
-	extract    syslog.ExtractStats
-	quarantine Quarantine
-	sources    map[string]*sourceState
-	gen        uint64
+	extract    syslog.ExtractStats     // guarded by mu
+	quarantine Quarantine              // guarded by mu
+	sources    map[string]*sourceState // guarded by mu
+	gen        uint64                  // guarded by mu
 }
 
 // sourceState is the mutable per-source ingest record.

@@ -17,16 +17,16 @@ import (
 
 // Observation is one (possibly right-censored) duration in hours.
 type Observation struct {
-	Hours    float64
-	Censored bool // true when the event had not occurred by Hours
+	Hours    float64 // observed duration, or censoring time
+	Censored bool    // true when the event had not occurred by Hours
 }
 
 // KMPoint is one step of a Kaplan-Meier survival curve.
 type KMPoint struct {
-	TimeHours float64
-	Survival  float64
-	AtRisk    int
-	Events    int
+	TimeHours float64 // event time the step occurs at
+	Survival  float64 // S(t) just after the step
+	AtRisk    int     // subjects still under observation at t
+	Events    int     // events occurring exactly at t
 }
 
 // KaplanMeier estimates the survival function from right-censored

@@ -61,8 +61,8 @@ func (c LineClass) String() string {
 // lazily in Error() — the classifiers on the hot path only ever read
 // Class, so a malformed line costs the field copy, not a fmt.Sprintf.
 type ParseError struct {
-	Class LineClass
-	field string // raw text of the offending field
+	Class LineClass // the corruption category the line falls in
+	field string    // raw text of the offending field
 	cause error
 }
 
@@ -141,20 +141,20 @@ func (o LenientOptions) withDefaults() LenientOptions {
 // Quarantined is one corrupt line retained as evidence: its 1-based line
 // number in the stream, its category, and a truncated sample of its bytes.
 type Quarantined struct {
-	Line   int
-	Class  LineClass
-	Sample string
+	Line   int       // 1-based line number in the scanned stream
+	Class  LineClass // the corruption category
+	Sample string    // truncated raw bytes, for forensics
 }
 
 // BudgetStatus records the error-budget configuration and outcome inside an
 // IngestionReport.
 type BudgetStatus struct {
-	MaxBadLines int
-	MaxBadFrac  float64
+	MaxBadLines int     // absolute corrupt-line budget, 0 = unlimited
+	MaxBadFrac  float64 // fractional corrupt-line budget, 0 = unlimited
 	// Exceeded is true when the run failed on a budget; Dominant then names
 	// the corruption category with the highest count.
 	Exceeded bool
-	Dominant LineClass
+	Dominant LineClass // see Exceeded
 }
 
 // IngestionReport is the structured outcome of a lenient Stage I run: what
@@ -177,7 +177,7 @@ type IngestionReport struct {
 	// Quarantine holds up to QuarantinePerClass samples per category, in
 	// stream order.
 	Quarantine []Quarantined
-	Budget     BudgetStatus
+	Budget     BudgetStatus // budget configuration and outcome
 }
 
 // BadFrac returns the corrupt-line fraction of the scanned stream.
@@ -222,11 +222,11 @@ func (k BudgetKind) String() string {
 // was exceeded. It names the dominant corruption category so the caller can
 // tell a truncated transfer (overlong/non-UTF-8) from clock damage.
 type BudgetError struct {
-	Kind     BudgetKind
-	BadTotal int
-	Lines    int
-	Limit    float64 // MaxBadLines or MaxBadFrac, depending on Kind
-	Dominant LineClass
+	Kind     BudgetKind // which budget tripped (absolute or fractional)
+	BadTotal int        // corrupt lines seen when the budget tripped
+	Lines    int        // total lines scanned at that point
+	Limit    float64    // MaxBadLines or MaxBadFrac, depending on Kind
+	Dominant LineClass  // highest-count corruption category
 }
 
 // Error implements error.

@@ -21,7 +21,7 @@ import (
 
 // BucketSpec describes one Table III row at full scale.
 type BucketSpec struct {
-	Name       string
+	Name       string    // Table III bucket label, e.g. "2-4"
 	Count      int       // full-scale number of jobs
 	MedianMin  float64   // target P50 elapsed, minutes
 	MeanMin    float64   // target mean elapsed, minutes
@@ -57,11 +57,11 @@ func DefaultBuckets() []BucketSpec {
 
 // Config parameterizes the generator.
 type Config struct {
-	Seed   uint64
-	Period stats.Period
+	Seed   uint64       // generator PRNG seed
+	Period stats.Period // submission window jobs are spread over
 	// Scale multiplies all job counts (1.0 = the full 1.45M-job population).
 	Scale   float64
-	Buckets []BucketSpec
+	Buckets []BucketSpec // per-GPU-count-bucket population shapes
 	// BaselineFailProb is the probability a job that runs to its natural end
 	// exits non-zero for non-GPU reasons (user bugs, OOM, bad input) — the
 	// bulk of the study's ~25% failure rate.
@@ -265,8 +265,8 @@ func (g *Generator) makeJob(bi int, b BucketSpec, rng *randx.Stream, submit time
 // CPURecord summarizes the CPU-partition population used only for the §V-A
 // success-rate comparison (1,686,696 jobs, 74.90% success).
 type CPURecord struct {
-	Total     int
-	Succeeded int
+	Total     int // CPU jobs in the period
+	Succeeded int // of those, jobs that exited zero
 }
 
 // GenerateCPURecords returns the CPU-job population summary at the given

@@ -87,11 +87,11 @@ func (r RecoveryAction) String() string {
 
 // Info describes one XID code.
 type Info struct {
-	Code        Code
-	Abbr        string // short name used in tables, e.g. "MMU Error"
-	Category    Category
-	Description string
-	Recovery    RecoveryAction
+	Code        Code           // the catalogued Xid number
+	Abbr        string         // short name used in tables, e.g. "MMU Error"
+	Category    Category       // the paper's coarse error category
+	Description string         // one-line meaning of the code
+	Recovery    RecoveryAction // what the SREs do when it fires
 	// InStats reports whether the study counts this code in resilience
 	// statistics (XID 13 and 43 are excluded).
 	InStats bool
@@ -295,10 +295,10 @@ func GroupCategory(g Group) Category {
 // Event is one GPU error occurrence: the canonical record exchanged between
 // the simulator, the syslog emitter/parser, and the analysis pipeline.
 type Event struct {
-	Time time.Time
-	Node string // node host name, e.g. "gpub042"
-	GPU  int    // GPU index within the node
-	Code Code
+	Time time.Time // occurrence instant, as logged
+	Node string    // node host name, e.g. "gpub042"
+	GPU  int       // GPU index within the node
+	Code Code      // the Xid number
 	// Detail carries code-specific context (e.g. NVLink link id, remapped
 	// row). Informational; the pipeline keys only on (Time, Node, GPU, Code).
 	Detail string
@@ -307,9 +307,9 @@ type Event struct {
 // Key identifies the coalescing identity of an event: same node, GPU, and
 // code.
 type Key struct {
-	Node string
-	GPU  int
-	Code Code
+	Node string // node host name
+	GPU  int    // GPU index within the node
+	Code Code   // the Xid number
 }
 
 // Key returns the coalescing key of the event.
